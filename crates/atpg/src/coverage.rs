@@ -1,0 +1,116 @@
+//! Fault-coverage and test-efficiency metrics, the FC/TEff columns of the
+//! paper's Tables 1 and 3.
+
+use std::fmt;
+
+/// Fault accounting for one ATPG or fault-simulation run.
+///
+/// * *Fault coverage* `FC = detected / total`.
+/// * *Test efficiency* `TEff = (detected + untestable) / total` — untestable
+///   (redundant) faults cannot cause observable misbehaviour, so a campaign
+///   that detects everything else is 100% efficient even below 100% FC.
+///
+/// # Examples
+///
+/// ```
+/// use socet_atpg::Coverage;
+/// let c = Coverage { total: 200, detected: 196, untestable: 3, aborted: 1 };
+/// assert!((c.fault_coverage() - 98.0).abs() < 1e-9);
+/// assert!((c.test_efficiency() - 99.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Coverage {
+    /// Total faults targeted.
+    pub total: usize,
+    /// Faults detected by some vector.
+    pub detected: usize,
+    /// Faults proved untestable (redundant).
+    pub untestable: usize,
+    /// Faults abandoned at the backtrack limit.
+    pub aborted: usize,
+}
+
+impl Coverage {
+    /// Fault coverage in percent; 100 for an empty fault list.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 100.0;
+        }
+        self.detected as f64 / self.total as f64 * 100.0
+    }
+
+    /// Test efficiency in percent; 100 for an empty fault list.
+    pub fn test_efficiency(&self) -> f64 {
+        if self.total == 0 {
+            return 100.0;
+        }
+        (self.detected + self.untestable) as f64 / self.total as f64 * 100.0
+    }
+
+    /// Merges the accounting of two disjoint fault populations (e.g. two
+    /// cores of an SOC).
+    pub fn merge(&self, other: &Coverage) -> Coverage {
+        Coverage {
+            total: self.total + other.total,
+            detected: self.detected + other.detected,
+            untestable: self.untestable + other.untestable,
+            aborted: self.aborted + other.aborted,
+        }
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FC {:.1}% / TEff {:.1}% ({} faults: {} det, {} red, {} ab)",
+            self.fault_coverage(),
+            self.test_efficiency(),
+            self.total,
+            self.detected,
+            self.untestable,
+            self.aborted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_population_is_fully_covered() {
+        let c = Coverage::default();
+        assert_eq!(c.fault_coverage(), 100.0);
+        assert_eq!(c.test_efficiency(), 100.0);
+    }
+
+    #[test]
+    fn efficiency_counts_redundant_faults() {
+        let c = Coverage {
+            total: 10,
+            detected: 8,
+            untestable: 2,
+            aborted: 0,
+        };
+        assert_eq!(c.fault_coverage(), 80.0);
+        assert_eq!(c.test_efficiency(), 100.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = Coverage { total: 10, detected: 9, untestable: 1, aborted: 0 };
+        let b = Coverage { total: 20, detected: 15, untestable: 0, aborted: 5 };
+        let m = a.merge(&b);
+        assert_eq!(m.total, 30);
+        assert_eq!(m.detected, 24);
+        assert_eq!(m.untestable, 1);
+        assert_eq!(m.aborted, 5);
+    }
+
+    #[test]
+    fn display_has_percentages() {
+        let c = Coverage { total: 4, detected: 4, untestable: 0, aborted: 0 };
+        assert!(c.to_string().contains("FC 100.0%"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The single stuck-at fault model and fault-list construction.
+
+use socet_gate::{GateKind, GateNetlist, SignalId};
+use std::fmt;
+
+/// A single stuck-at fault on a signal.
+///
+/// # Examples
+///
+/// ```
+/// use socet_gate::{GateKind, GateNetlistBuilder};
+/// use socet_atpg::fault_list;
+/// let mut b = GateNetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.gate1(GateKind::Not, a);
+/// b.output("y", y);
+/// let nl = b.build()?;
+/// let faults = fault_list(&nl);
+/// // Two signals (a, y), two polarities each.
+/// assert_eq!(faults.len(), 4);
+/// # Ok::<(), socet_gate::GateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The signal the fault sits on.
+    pub signal: SignalId,
+    /// `true` for stuck-at-1, `false` for stuck-at-0.
+    pub stuck_at_one: bool,
+}
+
+impl Fault {
+    /// Convenience constructor for a stuck-at-0 fault.
+    pub fn sa0(signal: SignalId) -> Self {
+        Fault {
+            signal,
+            stuck_at_one: false,
+        }
+    }
+
+    /// Convenience constructor for a stuck-at-1 fault.
+    pub fn sa1(signal: SignalId) -> Self {
+        Fault {
+            signal,
+            stuck_at_one: true,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} s-a-{}",
+            self.signal,
+            if self.stuck_at_one { 1 } else { 0 }
+        )
+    }
+}
+
+/// Builds the collapsed fault list of a netlist: both stuck-at polarities on
+/// every signal except
+///
+/// * constants (their value cannot be observed as "faulty" distinctly from a
+///   stuck input downstream), and
+/// * buffers (equivalent to faults on their source signal).
+///
+/// Inverter-output faults are kept: they are equivalent to the *opposite*
+/// polarity on the input, but keeping them costs little and keeps fault
+/// sites aligned with gate outputs, the convention the paper's cell-level
+/// counts follow.
+pub fn fault_list(nl: &GateNetlist) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(nl.gates().len() * 2);
+    for (i, g) in nl.gates().iter().enumerate() {
+        match g.kind {
+            GateKind::Const0 | GateKind::Const1 | GateKind::Buf => continue,
+            _ => {}
+        }
+        let s = signal(i);
+        faults.push(Fault::sa0(s));
+        faults.push(Fault::sa1(s));
+    }
+    faults
+}
+
+fn signal(i: usize) -> SignalId {
+    // SignalIds are dense indices; round-trip through the public display
+    // form is unnecessary — the netlist API accepts any id with
+    // index() < gates().len().
+    SignalId::from_index(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_gate::GateNetlistBuilder;
+
+    #[test]
+    fn constants_and_buffers_are_skipped() {
+        let mut b = GateNetlistBuilder::new("n");
+        let a = b.input("a");
+        let z = b.const0();
+        let m = b.mux(a, z, a);
+        let buf = b.gate1(GateKind::Buf, m);
+        b.output("o", buf);
+        let nl = b.build().unwrap();
+        let faults = fault_list(&nl);
+        // Signals: a (input), const0 (skip), mux, buf (skip) -> 2 sites.
+        assert_eq!(faults.len(), 4);
+        assert!(faults.iter().all(|f| f.signal != z && f.signal != buf));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Fault::sa0(SignalId::from_index(3)).to_string(), "n3 s-a-0");
+        assert_eq!(Fault::sa1(SignalId::from_index(3)).to_string(), "n3 s-a-1");
+    }
+
+    #[test]
+    fn polarity_constructors() {
+        let s = SignalId::from_index(7);
+        assert!(!Fault::sa0(s).stuck_at_one);
+        assert!(Fault::sa1(s).stuck_at_one);
+    }
+}

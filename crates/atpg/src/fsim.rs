@@ -1,0 +1,209 @@
+//! Pattern-parallel combinational fault simulation on the full-scan view.
+
+use crate::fault::Fault;
+use socet_gate::{GateNetlist, PackedSim};
+
+/// Combinational fault simulator: packs up to 64 test patterns per word and
+/// resimulates each live fault against the block.
+///
+/// Patterns assign all combinational inputs (real PIs, then flip-flop
+/// pseudo-inputs), matching [`Podem::inputs`](crate::Podem::inputs) order.
+///
+/// # Examples
+///
+/// ```
+/// use socet_gate::{GateKind, GateNetlistBuilder};
+/// use socet_atpg::{fault_list, FaultSim};
+/// let mut b = GateNetlistBuilder::new("and");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let z = b.gate2(GateKind::And2, x, y);
+/// b.output("z", z);
+/// let nl = b.build()?;
+/// let sim = FaultSim::new(&nl);
+/// // The exhaustive pattern set detects every fault of an AND gate.
+/// let patterns = vec![
+///     vec![false, false],
+///     vec![false, true],
+///     vec![true, false],
+///     vec![true, true],
+/// ];
+/// let detected = sim.detected(&fault_list(&nl), &patterns);
+/// assert_eq!(detected.iter().filter(|&&d| d).count(), fault_list(&nl).len());
+/// # Ok::<(), socet_gate::GateError>(())
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'a> {
+    nl: &'a GateNetlist,
+    n_pi: usize,
+    n_ff: usize,
+}
+
+impl<'a> FaultSim<'a> {
+    /// Creates a fault simulator over `nl`.
+    pub fn new(nl: &'a GateNetlist) -> Self {
+        FaultSim {
+            n_pi: nl.inputs().len(),
+            n_ff: nl.flip_flop_count(),
+            nl,
+        }
+    }
+
+    /// Width of a pattern: real inputs plus flip-flop pseudo-inputs.
+    pub fn pattern_width(&self) -> usize {
+        self.n_pi + self.n_ff
+    }
+
+    /// Simulates `patterns` against `faults`; `result[i]` tells whether
+    /// `faults[i]` is detected by at least one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from
+    /// [`FaultSim::pattern_width`].
+    pub fn detected(&self, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<bool> {
+        let mut det = vec![false; faults.len()];
+        self.accumulate(faults, patterns, &mut det);
+        det
+    }
+
+    /// Like [`FaultSim::detected`] but ORs into an existing detection map —
+    /// the fault-dropping loop of the ATPG driver uses this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pattern width mismatch or `det.len() != faults.len()`.
+    pub fn accumulate(&self, faults: &[Fault], patterns: &[Vec<bool>], det: &mut [bool]) {
+        assert_eq!(det.len(), faults.len(), "detection map length");
+        let sim = PackedSim::new(self.nl);
+        let pos = self.nl.comb_outputs();
+        for block in patterns.chunks(64) {
+            let (pi, ff) = self.pack(block);
+            let used: u64 = if block.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << block.len()) - 1
+            };
+            let good = sim.eval(&pi, &ff, None);
+            for (fi, fault) in faults.iter().enumerate() {
+                if det[fi] {
+                    continue;
+                }
+                let bad = sim.eval(&pi, &ff, Some((fault.signal, fault.stuck_at_one)));
+                let hit = pos.iter().any(|s| {
+                    (good[s.index()] ^ bad[s.index()]) & used != 0
+                });
+                if hit {
+                    det[fi] = true;
+                }
+            }
+        }
+    }
+
+    /// Packs a block of ≤64 patterns into per-input words.
+    fn pack(&self, block: &[Vec<bool>]) -> (Vec<u64>, Vec<u64>) {
+        let mut pi = vec![0u64; self.n_pi];
+        let mut ff = vec![0u64; self.n_ff];
+        for (k, pat) in block.iter().enumerate() {
+            assert_eq!(pat.len(), self.pattern_width(), "pattern width");
+            for (i, &bit) in pat.iter().enumerate() {
+                if bit {
+                    if i < self.n_pi {
+                        pi[i] |= 1 << k;
+                    } else {
+                        ff[i - self.n_pi] |= 1 << k;
+                    }
+                }
+            }
+        }
+        (pi, ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::fault_list;
+    use socet_gate::{GateKind, GateNetlistBuilder, SignalId};
+
+    #[test]
+    fn no_patterns_detect_nothing() {
+        let mut b = GateNetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.gate1(GateKind::Not, a);
+        b.output("y", y);
+        let nl = b.build().unwrap();
+        let sim = FaultSim::new(&nl);
+        let det = sim.detected(&fault_list(&nl), &[]);
+        assert!(det.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn inverter_needs_both_polarities() {
+        let mut b = GateNetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.gate1(GateKind::Not, a);
+        b.output("y", y);
+        let nl = b.build().unwrap();
+        let sim = FaultSim::new(&nl);
+        let faults = fault_list(&nl);
+        // Only the all-zero pattern: detects a s-a-1 and y s-a-0.
+        let det = sim.detected(&faults, &[vec![false]]);
+        let detected: Vec<Fault> = faults
+            .iter()
+            .zip(&det)
+            .filter(|(_, &d)| d)
+            .map(|(f, _)| *f)
+            .collect();
+        assert_eq!(detected, vec![Fault::sa1(a), Fault::sa0(y)]);
+        // Adding the all-one pattern completes coverage.
+        let det = sim.detected(&faults, &[vec![false], vec![true]]);
+        assert!(det.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn accumulate_unions_detections() {
+        let mut b = GateNetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.gate1(GateKind::Not, a);
+        b.output("y", y);
+        let nl = b.build().unwrap();
+        let sim = FaultSim::new(&nl);
+        let faults = fault_list(&nl);
+        let mut det = vec![false; faults.len()];
+        sim.accumulate(&faults, &[vec![false]], &mut det);
+        sim.accumulate(&faults, &[vec![true]], &mut det);
+        assert!(det.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn dff_pseudo_inputs_count_in_pattern_width() {
+        let mut b = GateNetlistBuilder::new("ff");
+        let d = b.input("d");
+        let q = b.dff(d);
+        b.output("q", q);
+        let nl = b.build().unwrap();
+        let sim = FaultSim::new(&nl);
+        assert_eq!(sim.pattern_width(), 2);
+        // Detect q s-a-0 by scanning in 1 (pattern bit for the FF).
+        let faults = [Fault::sa0(q)];
+        let det = sim.detected(&faults, &[vec![false, true]]);
+        assert!(det[0]);
+    }
+
+    #[test]
+    fn more_than_64_patterns_use_multiple_blocks() {
+        let mut b = GateNetlistBuilder::new("buf");
+        let a = b.input("a");
+        let y = b.gate1(GateKind::Not, a);
+        b.output("y", y);
+        let nl = b.build().unwrap();
+        let sim = FaultSim::new(&nl);
+        // 70 all-zero patterns then one all-one pattern.
+        let mut patterns = vec![vec![false]; 70];
+        patterns.push(vec![true]);
+        let det = sim.detected(&fault_list(&nl), &patterns);
+        assert!(det.iter().all(|&d| d));
+        let _ = SignalId::from_index(0);
+    }
+}

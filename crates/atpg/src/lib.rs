@@ -1,0 +1,73 @@
+//! Test-generation substrate: stuck-at faults, PODEM combinational ATPG,
+//! and fault simulation (combinational and sequential).
+//!
+//! The paper's flow assumes each HSCAN-equipped core "can be treated as a
+//! full-scan circuit and tested using combinational ATPG tools", and its
+//! Table 3 reports fault coverage (FC) and test efficiency (TEff) from "a
+//! commercial combinational ATPG tool" plus an in-house sequential tool for
+//! the un-DFT'd originals. This crate rebuilds that tooling:
+//!
+//! * [`Fault`] / [`fault_list`] — single stuck-at faults over a
+//!   [`GateNetlist`](socet_gate::GateNetlist), with buffer/constant
+//!   collapsing;
+//! * [`Podem`] — the classic PODEM algorithm on the full-scan
+//!   (combinational) view, two-plane (good/faulty) three-valued
+//!   implication, D-frontier objectives, X-path pruning and a backtrack
+//!   bound;
+//! * [`FaultSim`] — pattern-parallel combinational fault simulation;
+//! * [`SeqFaultSim`] — fault-parallel (64 faults per word) three-valued
+//!   sequential fault simulation, used for the "Orig." rows of Table 3;
+//! * [`generate_tests`] — the ATPG driver: random-pattern phase, PODEM
+//!   top-off, fault dropping; produces a [`TestSet`] with
+//!   [`Coverage`] metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use socet_gate::{GateKind, GateNetlistBuilder};
+//! use socet_atpg::{generate_tests, TpgConfig};
+//!
+//! let mut b = GateNetlistBuilder::new("and");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let z = b.gate2(GateKind::And2, x, y);
+//! b.output("z", z);
+//! let nl = b.build()?;
+//! let tests = generate_tests(&nl, &TpgConfig::default());
+//! assert_eq!(tests.coverage.fault_coverage(), 100.0);
+//! # Ok::<(), socet_gate::GateError>(())
+//! ```
+
+pub mod compact;
+pub mod coverage;
+pub mod fault;
+pub mod fsim;
+pub mod podem;
+pub mod seqfsim;
+pub mod tpg;
+
+pub use compact::{compact_tests, CompactionStats};
+pub use coverage::Coverage;
+pub use fault::{fault_list, Fault};
+pub use fsim::FaultSim;
+pub use podem::{Podem, PodemOutcome};
+pub use seqfsim::SeqFaultSim;
+pub use tpg::{generate_tests, TestSet, TpgConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_gate::{GateKind, GateNetlistBuilder};
+
+    #[test]
+    fn crate_doc_example() {
+        let mut b = GateNetlistBuilder::new("and");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.gate2(GateKind::And2, x, y);
+        b.output("z", z);
+        let nl = b.build().unwrap();
+        let tests = generate_tests(&nl, &TpgConfig::default());
+        assert_eq!(tests.coverage.fault_coverage(), 100.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Fault-parallel three-valued sequential fault simulation.
+//!
+//! The paper's "Orig." and "HSCAN-only" rows of Table 3 fault-simulate the
+//! *sequential* chip (no scan access) against test sequences. Doing that
+//! fault-serially is quadratic and slow, so this simulator packs up to 64
+//! faulty machines into each `u64` word: lane *k* of every signal carries
+//! the value seen by fault *k* of the current block. Values are three-valued
+//! (flip-flops power up unknown), encoded as a pair of definite-1 /
+//! definite-0 bit masks per signal.
+
+use crate::fault::Fault;
+use socet_gate::{GateKind, GateNetlist, SeqSim, Tri};
+
+/// Fault-parallel sequential fault simulator.
+///
+/// # Examples
+///
+/// ```
+/// use socet_gate::{GateNetlistBuilder, Tri};
+/// use socet_atpg::{Fault, SeqFaultSim};
+/// let mut b = GateNetlistBuilder::new("dff");
+/// let d = b.input("d");
+/// let q = b.dff(d);
+/// b.output("q", q);
+/// let nl = b.build()?;
+/// let sim = SeqFaultSim::new(&nl);
+/// // Clock in 1 then observe: q stuck-at-0 is detected.
+/// let vectors = vec![vec![Tri::One], vec![Tri::Zero]];
+/// let det = sim.run(&[Fault::sa0(q)], &vectors);
+/// assert_eq!(det, vec![true]);
+/// # Ok::<(), socet_gate::GateError>(())
+/// ```
+#[derive(Debug)]
+pub struct SeqFaultSim<'a> {
+    nl: &'a GateNetlist,
+}
+
+/// Packed three-valued word: definite-1 and definite-0 lane masks.
+#[derive(Debug, Clone, Copy, Default)]
+struct P3 {
+    d1: u64,
+    d0: u64,
+}
+
+impl P3 {
+    const X: P3 = P3 { d1: 0, d0: 0 };
+
+    fn splat(t: Tri) -> P3 {
+        match t {
+            Tri::One => P3 { d1: u64::MAX, d0: 0 },
+            Tri::Zero => P3 { d1: 0, d0: u64::MAX },
+            Tri::X => P3::X,
+        }
+    }
+
+    fn not(self) -> P3 {
+        P3 {
+            d1: self.d0,
+            d0: self.d1,
+        }
+    }
+
+    fn and(self, o: P3) -> P3 {
+        P3 {
+            d1: self.d1 & o.d1,
+            d0: self.d0 | o.d0,
+        }
+    }
+
+    fn or(self, o: P3) -> P3 {
+        P3 {
+            d1: self.d1 | o.d1,
+            d0: self.d0 & o.d0,
+        }
+    }
+
+    fn xor(self, o: P3) -> P3 {
+        P3 {
+            d1: (self.d1 & o.d0) | (self.d0 & o.d1),
+            d0: (self.d1 & o.d1) | (self.d0 & o.d0),
+        }
+    }
+
+    fn mux(s: P3, a0: P3, a1: P3) -> P3 {
+        let sx = !(s.d0 | s.d1);
+        P3 {
+            d1: (s.d0 & a0.d1) | (s.d1 & a1.d1) | (sx & a0.d1 & a1.d1),
+            d0: (s.d0 & a0.d0) | (s.d1 & a1.d0) | (sx & a0.d0 & a1.d0),
+        }
+    }
+
+    /// Applies stuck-at injection masks.
+    fn inject(self, m1: u64, m0: u64) -> P3 {
+        P3 {
+            d1: (self.d1 & !m0) | m1,
+            d0: (self.d0 & !m1) | m0,
+        }
+    }
+}
+
+impl<'a> SeqFaultSim<'a> {
+    /// Creates a simulator over `nl`.
+    pub fn new(nl: &'a GateNetlist) -> Self {
+        SeqFaultSim { nl }
+    }
+
+    /// Simulates `vectors` (applied cycle by cycle from X-initialized state)
+    /// against every fault; `result[i]` reports whether `faults[i]` produced
+    /// a definite, wrong value at a primary output in some cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vector's length differs from the netlist's input count.
+    pub fn run(&self, faults: &[Fault], vectors: &[Vec<Tri>]) -> Vec<bool> {
+        self.run_from(faults, vectors, Tri::X)
+    }
+
+    /// Like [`SeqFaultSim::run`] but with every flip-flop initialized to
+    /// `init` — pass [`Tri::Zero`] to model a chip that starts from reset.
+    pub fn run_from(&self, faults: &[Fault], vectors: &[Vec<Tri>], init: Tri) -> Vec<bool> {
+        // Reference (good-machine) outputs per cycle.
+        let mut good_sim = match init {
+            Tri::Zero => SeqSim::new_reset(self.nl),
+            _ => SeqSim::new(self.nl),
+        };
+        let good_outputs: Vec<Vec<Tri>> = vectors
+            .iter()
+            .map(|v| good_sim.step(v, None))
+            .collect();
+
+        let mut detected = vec![false; faults.len()];
+        for (block_idx, block) in faults.chunks(64).enumerate() {
+            let base = block_idx * 64;
+            let det = self.run_block(block, vectors, &good_outputs, init);
+            for (k, d) in det.iter().enumerate() {
+                detected[base + k] = *d;
+            }
+        }
+        detected
+    }
+
+    fn run_block(
+        &self,
+        block: &[Fault],
+        vectors: &[Vec<Tri>],
+        good_outputs: &[Vec<Tri>],
+        init: Tri,
+    ) -> Vec<bool> {
+        let n = self.nl.gates().len();
+        // Injection masks per signal.
+        let mut m1 = vec![0u64; n];
+        let mut m0 = vec![0u64; n];
+        for (k, f) in block.iter().enumerate() {
+            if f.stuck_at_one {
+                m1[f.signal.index()] |= 1 << k;
+            } else {
+                m0[f.signal.index()] |= 1 << k;
+            }
+        }
+        let ffs = self.nl.flip_flops();
+        let mut state: Vec<P3> = vec![P3::splat(init); ffs.len()];
+        let mut detected_lanes = 0u64;
+        let used: u64 = if block.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << block.len()) - 1
+        };
+
+        for (cycle, vector) in vectors.iter().enumerate() {
+            assert_eq!(vector.len(), self.nl.inputs().len(), "vector width");
+            let mut v = vec![P3::X; n];
+            for ((_, s), t) in self.nl.inputs().iter().zip(vector) {
+                v[s.index()] = P3::splat(*t).inject(m1[s.index()], m0[s.index()]);
+            }
+            for (q, st) in ffs.iter().zip(&state) {
+                v[q.index()] = st.inject(m1[q.index()], m0[q.index()]);
+            }
+            for (i, g) in self.nl.gates().iter().enumerate() {
+                match g.kind {
+                    GateKind::Const0 => v[i] = P3::splat(Tri::Zero).inject(m1[i], m0[i]),
+                    GateKind::Const1 => v[i] = P3::splat(Tri::One).inject(m1[i], m0[i]),
+                    _ => {}
+                }
+            }
+            for s in self.nl.topo_order() {
+                let g = self.nl.gate(*s);
+                let ops = g.operands();
+                let val = match g.kind {
+                    GateKind::Not => v[ops[0].index()].not(),
+                    GateKind::Buf => v[ops[0].index()],
+                    GateKind::And2 => v[ops[0].index()].and(v[ops[1].index()]),
+                    GateKind::Or2 => v[ops[0].index()].or(v[ops[1].index()]),
+                    GateKind::Nand2 => v[ops[0].index()].and(v[ops[1].index()]).not(),
+                    GateKind::Nor2 => v[ops[0].index()].or(v[ops[1].index()]).not(),
+                    GateKind::Xor2 => v[ops[0].index()].xor(v[ops[1].index()]),
+                    GateKind::Xnor2 => v[ops[0].index()].xor(v[ops[1].index()]).not(),
+                    GateKind::Mux2 => P3::mux(
+                        v[ops[0].index()],
+                        v[ops[1].index()],
+                        v[ops[2].index()],
+                    ),
+                    _ => unreachable!("topo order holds only combinational gates"),
+                };
+                v[s.index()] = val.inject(m1[s.index()], m0[s.index()]);
+            }
+            // Detection at primary outputs.
+            for ((_, s), good) in self.nl.outputs().iter().zip(&good_outputs[cycle]) {
+                match good {
+                    Tri::One => detected_lanes |= v[s.index()].d0 & used,
+                    Tri::Zero => detected_lanes |= v[s.index()].d1 & used,
+                    Tri::X => {}
+                }
+            }
+            // Clock.
+            for (i, q) in ffs.iter().enumerate() {
+                let d = self.nl.gate(*q).operands()[0];
+                state[i] = v[d.index()].inject(m1[q.index()], m0[q.index()]);
+            }
+        }
+        (0..block.len()).map(|k| detected_lanes >> k & 1 != 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::fault_list;
+    use socet_gate::GateNetlistBuilder;
+
+    fn dff_chain(len: usize) -> GateNetlist {
+        let mut b = GateNetlistBuilder::new("chain");
+        let d = b.input("d");
+        let mut s = d;
+        for _ in 0..len {
+            s = b.dff(s);
+        }
+        b.output("q", s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn undetectable_without_enough_cycles() {
+        let nl = dff_chain(3);
+        let sim = SeqFaultSim::new(&nl);
+        let faults = fault_list(&nl);
+        // Two cycles cannot flush a 3-deep chain: the output is still X,
+        // nothing definite to compare.
+        let vectors = vec![vec![Tri::One]; 2];
+        let det = sim.run(&faults, &vectors);
+        assert!(det.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn chain_faults_detected_after_flush() {
+        let nl = dff_chain(3);
+        let sim = SeqFaultSim::new(&nl);
+        let faults = fault_list(&nl);
+        // Drive 1s for 4 cycles (flush + observe), then 0s for 5: both
+        // polarities become observable.
+        let mut vectors = vec![vec![Tri::One]; 5];
+        vectors.extend(vec![vec![Tri::Zero]; 6]);
+        let det = sim.run(&faults, &vectors);
+        assert!(det.iter().all(|&d| d), "undetected: {:?}",
+            faults.iter().zip(&det).filter(|(_, &d)| !d).map(|(f, _)| *f).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn agrees_with_scalar_seq_sim() {
+        // Cross-check one fault against SeqSim's scalar fault injection.
+        let nl = dff_chain(2);
+        let faults = fault_list(&nl);
+        let vectors: Vec<Vec<Tri>> = [Tri::One, Tri::Zero, Tri::One, Tri::One, Tri::Zero]
+            .iter()
+            .map(|t| vec![*t])
+            .collect();
+        let packed = SeqFaultSim::new(&nl).run(&faults, &vectors);
+        for (fi, fault) in faults.iter().enumerate() {
+            let mut good = SeqSim::new(&nl);
+            let mut bad = SeqSim::new(&nl);
+            let mut scalar_detected = false;
+            for v in &vectors {
+                let g = good.step(v, None);
+                let f = bad.step(v, Some((fault.signal, fault.stuck_at_one)));
+                for (gv, fv) in g.iter().zip(&f) {
+                    if let (Some(a), Some(b)) = (gv.to_bool(), fv.to_bool()) {
+                        if a != b {
+                            scalar_detected = true;
+                        }
+                    }
+                }
+            }
+            assert_eq!(packed[fi], scalar_detected, "{fault}");
+        }
+    }
+
+    #[test]
+    fn more_than_64_faults_use_blocks() {
+        // A wide netlist with >64 fault sites.
+        let mut b = GateNetlistBuilder::new("wide");
+        let mut outs = Vec::new();
+        for i in 0..40 {
+            let x = b.input(&format!("x{i}"));
+            let q = b.dff(x);
+            outs.push(q);
+        }
+        for (i, q) in outs.iter().enumerate() {
+            b.output(&format!("q{i}"), *q);
+        }
+        let nl = b.build().unwrap();
+        let faults = fault_list(&nl);
+        assert!(faults.len() > 64);
+        let sim = SeqFaultSim::new(&nl);
+        let vectors = vec![vec![Tri::One; 40], vec![Tri::Zero; 40], vec![Tri::Zero; 40]];
+        let det = sim.run(&faults, &vectors);
+        assert!(det.iter().all(|&d| d));
+    }
+}

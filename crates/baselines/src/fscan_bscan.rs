@@ -1,0 +1,241 @@
+//! The FSCAN-BSCAN baseline: full scan per core, boundary scan around each
+//! core (paper §1 and §3).
+//!
+//! Every flip-flop becomes a scan flip-flop and every core port bit gets a
+//! boundary-scan cell, forming one serial chain per core of length
+//! `FFs + port-boundary bits`. Testing a core shifts each vector through
+//! that chain: the paper's DISPLAY example costs
+//! `(66 + 20) × 105 + (66 + 20) − 1 = 9 115` cycles.
+
+use socet_cells::{AreaReport, CellKind, CellLibrary, DftCosts};
+use socet_rtl::{Core, CoreInstanceId, Soc};
+use std::fmt;
+
+/// FSCAN-BSCAN accounting for one core.
+#[derive(Debug, Clone)]
+pub struct FscanBscanCore {
+    /// The core instance.
+    pub core: CoreInstanceId,
+    /// Flip-flops converted to scan flip-flops.
+    pub flip_flops: u32,
+    /// Boundary-scan cells (input-port bits; outputs observed through the
+    /// same ring are counted once on the input side, following the paper's
+    /// `66 + 20` arithmetic for the DISPLAY).
+    pub boundary_bits: u32,
+    /// Full-scan vectors applied.
+    pub vectors: u64,
+}
+
+impl FscanBscanCore {
+    /// Serial chain length: scan flip-flops plus boundary cells.
+    pub fn chain_length(&self) -> u64 {
+        u64::from(self.flip_flops) + u64::from(self.boundary_bits)
+    }
+
+    /// Test application time of this core:
+    /// `chain × vectors + chain − 1` (shift-in per vector, overlap of
+    /// shift-out, final flush).
+    pub fn test_time(&self) -> u64 {
+        let chain = self.chain_length();
+        chain * self.vectors + chain.saturating_sub(1)
+    }
+}
+
+impl fmt::Display for FscanBscanCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}: ({} FF + {} bscan) x {} vectors = {} cycles",
+            self.core,
+            self.flip_flops,
+            self.boundary_bits,
+            self.vectors,
+            self.test_time()
+        )
+    }
+}
+
+/// The FSCAN-BSCAN evaluation of a whole SOC.
+#[derive(Debug, Clone)]
+pub struct FscanBscanReport {
+    /// Per-core accounting.
+    pub cores: Vec<FscanBscanCore>,
+    /// Core-level DFT area (scan flip-flop premiums).
+    pub fscan_area: AreaReport,
+    /// Chip-level DFT area (boundary-scan cells).
+    pub bscan_area: AreaReport,
+}
+
+impl FscanBscanReport {
+    /// Evaluates FSCAN-BSCAN on `soc`. `vectors[i]` is the full-scan vector
+    /// count of core instance `i` (ignored for memory cores).
+    pub fn evaluate(soc: &Soc, vectors: &[u64], costs: &DftCosts) -> FscanBscanReport {
+        let mut cores = Vec::new();
+        let mut fscan_area = AreaReport::new();
+        let mut bscan_area = AreaReport::new();
+        for cid in soc.logic_cores() {
+            let core: &Core = soc.core(cid).core();
+            let ffs = core.flip_flop_count();
+            let boundary = core.input_bits();
+            fscan_area.tally(
+                CellKind::ScanDff,
+                u64::from(ffs) * costs.fscan_per_ff,
+            );
+            // One boundary-scan cell per port bit; its area comes from the
+            // cell library (3 cells under the generic .8µm table).
+            let _ = costs;
+            bscan_area.tally(
+                CellKind::BscanCell,
+                u64::from(core.input_bits() + core.output_bits()),
+            );
+            cores.push(FscanBscanCore {
+                core: cid,
+                flip_flops: ffs,
+                boundary_bits: boundary,
+                vectors: vectors[cid.index()],
+            });
+        }
+        FscanBscanReport {
+            cores,
+            fscan_area,
+            bscan_area,
+        }
+    }
+
+    /// Global test application time: cores are tested serially.
+    pub fn test_application_time(&self) -> u64 {
+        self.cores.iter().map(FscanBscanCore::test_time).sum()
+    }
+
+    /// Core-level DFT overhead in cells.
+    pub fn fscan_cells(&self, lib: &CellLibrary) -> u64 {
+        // The scan premium is the scan DFF minus the plain DFF it replaces.
+        let premium = u64::from(lib.area_of(CellKind::ScanDff))
+            .saturating_sub(u64::from(lib.area_of(CellKind::Dff)));
+        self.fscan_area.count(CellKind::ScanDff) * premium.max(1)
+    }
+
+    /// Chip-level DFT overhead in cells.
+    pub fn bscan_cells(&self, lib: &CellLibrary) -> u64 {
+        self.bscan_area.cells(lib)
+    }
+
+    /// Total DFT overhead in cells.
+    pub fn total_cells(&self, lib: &CellLibrary) -> u64 {
+        self.fscan_cells(lib) + self.bscan_cells(lib)
+    }
+}
+
+impl fmt::Display for FscanBscanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fscan-bscan: {} cores, TAT {} cycles",
+            self.cores.len(),
+            self.test_application_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+    use std::sync::Arc;
+
+    /// A core shaped like the paper's DISPLAY: 66 flip-flops, 20 input
+    /// bits.
+    fn display_like() -> Arc<socet_rtl::Core> {
+        let mut b = CoreBuilder::new("display");
+        let a = b.port("a", Direction::In, 12).unwrap();
+        let d = b.port("d", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r1 = b.register("r1", 33).unwrap();
+        let r2 = b.register("r2", 33).unwrap();
+        b.connect_via(
+            socet_rtl::RtlNode::Port(a),
+            socet_rtl::BitRange::full(12),
+            socet_rtl::RtlNode::Reg(r1),
+            socet_rtl::BitRange::new(0, 11),
+            socet_rtl::Via::Direct,
+        )
+        .unwrap();
+        b.connect_via(
+            socet_rtl::RtlNode::Port(d),
+            socet_rtl::BitRange::full(8),
+            socet_rtl::RtlNode::Reg(r1),
+            socet_rtl::BitRange::new(12, 19),
+            socet_rtl::Via::Direct,
+        )
+        .unwrap();
+        b.connect_reg_to_reg(r1, r2).unwrap();
+        b.connect_via(
+            socet_rtl::RtlNode::Reg(r2),
+            socet_rtl::BitRange::new(0, 7),
+            socet_rtl::RtlNode::Port(o),
+            socet_rtl::BitRange::full(8),
+            socet_rtl::Via::Direct,
+        )
+        .unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn display_example_costs_9115_cycles() {
+        let core = display_like();
+        assert_eq!(core.flip_flop_count(), 66);
+        assert_eq!(core.input_bits(), 20);
+        let a = core.find_port("a").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 12).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u = sb.instantiate("u", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u, a).unwrap();
+        sb.connect_core_to_pin(u, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let report = FscanBscanReport::evaluate(&soc, &[105], &DftCosts::default());
+        // The paper's worked example: (66+20)*105 + (66+20) - 1 = 9 115.
+        assert_eq!(report.cores[0].test_time(), 9_115);
+        assert_eq!(report.test_application_time(), 9_115);
+    }
+
+    #[test]
+    fn area_scales_with_ffs_and_ports() {
+        let core = display_like();
+        let a = core.find_port("a").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 12).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u = sb.instantiate("u", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u, a).unwrap();
+        sb.connect_core_to_pin(u, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let report = FscanBscanReport::evaluate(&soc, &[105], &DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        // 66 scan premiums (1 cell each under the generic library).
+        assert_eq!(report.fscan_cells(&lib), 66);
+        // 28 port bits x BSC (3 cells each).
+        assert_eq!(report.bscan_cells(&lib), 28 * 3);
+        assert_eq!(report.total_cells(&lib), 66 + 84);
+    }
+
+    #[test]
+    fn memory_cores_excluded() {
+        let core = display_like();
+        let a = core.find_port("a").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 12).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u = sb.instantiate("u", core.clone()).unwrap();
+        let ram = sb.instantiate_memory("ram", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u, a).unwrap();
+        sb.connect_core_to_pin(u, o, po).unwrap();
+        sb.connect_cores(u, o, ram, core.find_port("d").unwrap()).unwrap();
+        let soc = sb.build().unwrap();
+        let report = FscanBscanReport::evaluate(&soc, &[105, 999], &DftCosts::default());
+        assert_eq!(report.cores.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The test-bus baseline (paper §1): an added bus runs from the chip PIs
+//! to the POs, and multiplexers isolate each full-scanned core during test.
+//!
+//! Each core is accessed directly over the bus, so its test runs at scan
+//! speed — but every core port bit needs an isolation mux, the bus wiring
+//! itself costs area, and the interconnect between cores is never tested
+//! (the paper's stated drawback; captured here in
+//! [`TestBusReport::interconnect_tested`]).
+
+use socet_cells::{AreaReport, CellKind, CellLibrary, DftCosts};
+use socet_rtl::{CoreInstanceId, Soc};
+use std::fmt;
+
+/// The test-bus evaluation of one SOC.
+#[derive(Debug, Clone)]
+pub struct TestBusReport {
+    /// Per-core `(instance, chain length, vectors)`.
+    pub cores: Vec<(CoreInstanceId, u64, u64)>,
+    /// Isolation-mux area.
+    pub mux_area: AreaReport,
+}
+
+impl TestBusReport {
+    /// Evaluates the test-bus architecture. `vectors[i]` and `depth[i]` are
+    /// the full-scan vector count and HSCAN chain depth of core `i`.
+    pub fn evaluate(
+        soc: &Soc,
+        vectors: &[u64],
+        depths: &[u64],
+        costs: &DftCosts,
+    ) -> TestBusReport {
+        let mut cores = Vec::new();
+        let mut mux_area = AreaReport::new();
+        for cid in soc.logic_cores() {
+            let core = soc.core(cid).core();
+            let bits = u64::from(core.input_bits() + core.output_bits());
+            mux_area.tally(CellKind::Mux2, bits * costs.system_test_mux_per_bit);
+            cores.push((cid, depths[cid.index()], vectors[cid.index()]));
+        }
+        TestBusReport { cores, mux_area }
+    }
+
+    /// Global test application time: each core tests at scan speed over the
+    /// bus, `vectors × (depth + 1)` per core, serially.
+    pub fn test_application_time(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|(_, depth, vectors)| vectors * (depth + 1))
+            .sum()
+    }
+
+    /// Chip-level overhead in cells.
+    pub fn overhead_cells(&self, lib: &CellLibrary) -> u64 {
+        self.mux_area.cells(lib)
+    }
+
+    /// The test bus cannot test core-to-core interconnect: always `false`,
+    /// recorded so comparisons can state it explicitly.
+    pub fn interconnect_tested(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for TestBusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "test-bus: {} cores, TAT {} cycles (interconnect untested)",
+            self.cores.len(),
+            self.test_application_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+    use std::sync::Arc;
+
+    fn soc_with_one_core() -> Soc {
+        let mut b = CoreBuilder::new("c");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        let core = Arc::new(b.build().unwrap());
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u = sb.instantiate("u", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u, core.find_port("i").unwrap()).unwrap();
+        sb.connect_core_to_pin(u, core.find_port("o").unwrap(), po).unwrap();
+        sb.build().unwrap()
+    }
+
+    #[test]
+    fn tat_runs_at_scan_speed() {
+        let soc = soc_with_one_core();
+        let report = TestBusReport::evaluate(&soc, &[100], &[4], &DftCosts::default());
+        assert_eq!(report.test_application_time(), 100 * 5);
+    }
+
+    #[test]
+    fn mux_area_covers_all_port_bits() {
+        let soc = soc_with_one_core();
+        let report = TestBusReport::evaluate(&soc, &[100], &[4], &DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        assert_eq!(report.overhead_cells(&lib), 16);
+        assert!(!report.interconnect_tested());
+    }
+}

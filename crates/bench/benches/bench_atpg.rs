@@ -1,0 +1,30 @@
+//! Criterion bench: elaboration, PODEM-based test generation and
+//! fault-parallel sequential fault simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socet_atpg::tpg::random_sequence;
+use socet_atpg::{fault_list, generate_tests, SeqFaultSim, TpgConfig};
+use socet_gate::elaborate;
+use socet_socs::{gcd_core, preprocessor_core};
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(10);
+    let gcd = gcd_core();
+    group.bench_function("elaborate/gcd", |b| b.iter(|| elaborate(&gcd).unwrap()));
+    let nl = elaborate(&gcd).unwrap().netlist;
+    let cfg = TpgConfig::default();
+    group.bench_function("generate_tests/gcd", |b| b.iter(|| generate_tests(&nl, &cfg)));
+
+    let prep = preprocessor_core();
+    let pnl = elaborate(&prep).unwrap().netlist;
+    let faults = fault_list(&pnl);
+    let vectors = random_sequence(pnl.inputs().len(), 32, 7);
+    group.bench_function("seq_fault_sim/preprocessor_32c", |b| {
+        b.iter(|| SeqFaultSim::new(&pnl).run(&faults, &vectors))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_atpg);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: full design-space sweep and both iterative-improvement
+//! objectives on System 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socet_cells::DftCosts;
+use socet_core::{CoreTestData, Explorer, Objective};
+use socet_hscan::insert_hscan;
+use socet_socs::barcode_system;
+use socet_transparency::synthesize_versions;
+
+fn bench_explore(c: &mut Criterion) {
+    let soc = barcode_system();
+    let costs = DftCosts::default();
+    let data: Vec<Option<CoreTestData>> = soc
+        .cores()
+        .iter()
+        .map(|inst| {
+            if inst.is_memory() {
+                return None;
+            }
+            let hscan = insert_hscan(inst.core(), &costs);
+            let versions = synthesize_versions(inst.core(), &hscan, &costs);
+            Some(CoreTestData { versions, hscan, scan_vectors: 105 })
+        })
+        .collect();
+    let explorer = Explorer::new(&soc, &data, costs);
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(20);
+    group.bench_function("sweep/system1", |b| b.iter(|| explorer.sweep()));
+    group.bench_function("objective1/system1", |b| {
+        b.iter(|| {
+            explorer.optimize(Objective::MinTatUnderArea { max_overhead_cells: u64::MAX })
+        })
+    });
+    group.bench_function("objective2/system1", |b| {
+        b.iter(|| explorer.optimize(Objective::MinAreaUnderTat { max_tat_cycles: 5_000 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

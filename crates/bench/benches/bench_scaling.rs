@@ -1,0 +1,42 @@
+//! Criterion bench: chip-level scheduling runtime as the SOC grows — the
+//! engine stays interactive far past the paper's 3-core systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socet_cells::DftCosts;
+use socet_core::{schedule, CoreTestData};
+use socet_hscan::insert_hscan;
+use socet_socs::{generate_soc, SyntheticConfig};
+use socet_transparency::synthesize_versions;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for cores in [4usize, 8, 16, 32] {
+        let soc = generate_soc(&SyntheticConfig {
+            cores,
+            width: 8,
+            pipeline_depth: 4,
+            seed: 7,
+        });
+        let costs = DftCosts::default();
+        let data: Vec<Option<CoreTestData>> = soc
+            .cores()
+            .iter()
+            .map(|inst| {
+                let hscan = insert_hscan(inst.core(), &costs);
+                let versions = synthesize_versions(inst.core(), &hscan, &costs);
+                Some(CoreTestData { versions, hscan, scan_vectors: 50 })
+            })
+            .collect();
+        let choice = vec![0usize; soc.cores().len()];
+        group.bench_with_input(
+            BenchmarkId::new("schedule", cores),
+            &cores,
+            |b, _| b.iter(|| schedule(&soc, &data, &choice, &costs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: RCG extraction and version-ladder synthesis on the
+//! paper's cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socet_cells::DftCosts;
+use socet_hscan::insert_hscan;
+use socet_socs::{cpu_core, display_core, x25_core};
+use socet_transparency::{synthesize_versions, Rcg};
+
+fn bench_transparency(c: &mut Criterion) {
+    let costs = DftCosts::default();
+    let cores = [cpu_core(), display_core(), x25_core()];
+    let mut group = c.benchmark_group("transparency");
+    for core in &cores {
+        let hscan = insert_hscan(core, &costs);
+        group.bench_function(format!("rcg_extract/{}", core.name()), |b| {
+            b.iter(|| Rcg::extract(core, &hscan))
+        });
+        group.bench_function(format!("synthesize_versions/{}", core.name()), |b| {
+            b.iter(|| synthesize_versions(core, &hscan, &costs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transparency);
+criterion_main!(benches);

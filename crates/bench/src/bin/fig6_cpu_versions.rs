@@ -1,0 +1,83 @@
+//! FIG6 — regenerates Fig. 6 of the paper: the CPU core's transparency
+//! latency vs overhead trade-off (Versions 1–3).
+//!
+//! Paper values:
+//!
+//! | CPU       | D→A(7-0) | D→A(11-8) | D→A(11-0) | Overhead (cells) |
+//! |-----------|----------|-----------|-----------|------------------|
+//! | Version 1 | 6        | 2         | 8         | 3                |
+//! | Version 2 | 1        | 2         | 3         | 10               |
+//! | Version 3 | 1        | 1         | 2         | 30               |
+//!
+//! `D→A(11-0)` is the serialized total — both Address transfers share the
+//! `Data` input, so they run back to back.
+
+use socet_bench::compare_row;
+use socet_cells::{CellLibrary, DftCosts};
+use socet_hscan::insert_hscan;
+use socet_socs::cpu_core;
+use socet_transparency::synthesize_versions;
+
+fn main() {
+    let core = cpu_core();
+    let costs = DftCosts::default();
+    let lib = CellLibrary::generic_08um();
+    let hscan = insert_hscan(&core, &costs);
+    let versions = synthesize_versions(&core, &hscan, &costs);
+    let data = core.find_port("Data").expect("port");
+    let a_lo = core.find_port("AddrLo").expect("port");
+    let a_hi = core.find_port("AddrHi").expect("port");
+
+    println!("FIG6: CPU transparency latency vs overhead");
+    println!("  {:<10} {:>9} {:>10} {:>10} {:>8}", "", "D->A(7-0)", "D->A(11-8)", "D->A(11-0)", "ovhd");
+    let paper = [(6u32, 2u32, 8u32, 3u64), (1, 2, 3, 10), (1, 1, 2, 30)];
+    let mut all_match = true;
+    for (v, (p_lo, p_hi, p_tot, p_ov)) in versions.iter().zip(paper) {
+        let lo = v.pair_latency(data, a_lo).expect("pair exists");
+        let hi = v.pair_latency(data, a_hi).expect("pair exists");
+        // Serialized total: the two transfers share the Data input.
+        let tot = lo + hi;
+        let ov = v.overhead_cells(&lib);
+        println!("  {:<10} {lo:>9} {hi:>10} {tot:>10} {ov:>8}", v.name());
+        all_match &= lo == p_lo && hi == p_hi && tot == p_tot && ov == p_ov;
+    }
+    println!("\ncomparison with the paper:");
+    for (k, (p_lo, p_hi, p_tot, p_ov)) in paper.iter().enumerate() {
+        let v = &versions[k];
+        compare_row(
+            &format!("V{} D->A(7-0) latency", k + 1),
+            f64::from(v.pair_latency(data, a_lo).expect("pair")),
+            f64::from(*p_lo),
+            "cycles",
+        );
+        compare_row(
+            &format!("V{} D->A(11-8) latency", k + 1),
+            f64::from(v.pair_latency(data, a_hi).expect("pair")),
+            f64::from(*p_hi),
+            "cycles",
+        );
+        compare_row(
+            &format!("V{} serialized total", k + 1),
+            f64::from(
+                v.pair_latency(data, a_lo).expect("pair")
+                    + v.pair_latency(data, a_hi).expect("pair"),
+            ),
+            f64::from(*p_tot),
+            "cycles",
+        );
+        compare_row(
+            &format!("V{} overhead", k + 1),
+            v.overhead_cells(&lib) as f64,
+            *p_ov as f64,
+            "cells",
+        );
+    }
+    println!(
+        "\nverdict: {}",
+        if all_match {
+            "EXACT match with Fig. 6"
+        } else {
+            "deviations present (see rows above)"
+        }
+    );
+}

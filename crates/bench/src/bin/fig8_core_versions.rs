@@ -1,0 +1,68 @@
+//! FIG8 — regenerates Fig. 8 of the paper: the transparency latency-area
+//! trade-offs of the PREPROCESSOR (a) and DISPLAY (b) cores.
+//!
+//! Paper values:
+//!
+//! | PREPROCESSOR | NUM→DB | NUM→A | Ovhd | DISPLAY | D→OUT | A→OUT | Ovhd |
+//! |--------------|--------|-------|------|---------|-------|-------|------|
+//! | Ver. 1       | 5      | 2     | 2    | Ver. 1  | 2     | 3     | 5    |
+//! | Ver. 2       | 1      | 2     | 19   | Ver. 2  | 2     | 1     | 20   |
+//! | Ver. 3       | 1      | 1     | 37   | Ver. 3  | 1     | 1     | 55   |
+//!
+//! `OUT` is "a combination of output ports": the fastest display port
+//! reachable from the input.
+
+use socet_bench::compare_row;
+use socet_cells::{CellLibrary, DftCosts};
+use socet_hscan::insert_hscan;
+use socet_socs::{display_core, preprocessor_core};
+use socet_transparency::{synthesize_versions, CoreVersion};
+
+fn out_latency(core: &socet_rtl::Core, v: &CoreVersion, input: &str) -> u32 {
+    let ip = core.find_port(input).expect("port exists");
+    core.output_ports()
+        .iter()
+        .filter_map(|o| v.pair_latency(ip, *o))
+        .min()
+        .expect("input reaches some output")
+}
+
+fn main() {
+    let costs = DftCosts::default();
+    let lib = CellLibrary::generic_08um();
+
+    println!("FIG8(a): PREPROCESSOR");
+    let prep = preprocessor_core();
+    let hscan = insert_hscan(&prep, &costs);
+    let versions = synthesize_versions(&prep, &hscan, &costs);
+    let num = prep.find_port("NUM").expect("port");
+    let db = prep.find_port("DB").expect("port");
+    let addr = prep.find_port("Address").expect("port");
+    println!("  {:<10} {:>8} {:>8} {:>8}", "", "NUM->DB", "NUM->A", "ovhd");
+    let paper_a = [(5u32, 2u32, 2u64), (1, 2, 19), (1, 1, 37)];
+    for (v, (p_db, p_a, p_ov)) in versions.iter().zip(paper_a) {
+        let l_db = v.pair_latency(num, db).expect("pair");
+        let l_a = v.pair_latency(num, addr).expect("pair");
+        let ov = v.overhead_cells(&lib);
+        println!("  {:<10} {l_db:>8} {l_a:>8} {ov:>8}", v.name());
+        compare_row(&format!("{} NUM->DB", v.name()), f64::from(l_db), f64::from(p_db), "cycles");
+        compare_row(&format!("{} NUM->A", v.name()), f64::from(l_a), f64::from(p_a), "cycles");
+        compare_row(&format!("{} overhead", v.name()), ov as f64, p_ov as f64, "cells");
+    }
+
+    println!("\nFIG8(b): DISPLAY");
+    let disp = display_core();
+    let hscan = insert_hscan(&disp, &costs);
+    let versions = synthesize_versions(&disp, &hscan, &costs);
+    println!("  {:<10} {:>8} {:>8} {:>8}", "", "D->OUT", "A->OUT", "ovhd");
+    let paper_b = [(2u32, 3u32, 5u64), (2, 1, 20), (1, 1, 55)];
+    for (v, (p_d, p_a, p_ov)) in versions.iter().zip(paper_b) {
+        let l_d = out_latency(&disp, v, "D");
+        let l_a = out_latency(&disp, v, "ALo");
+        let ov = v.overhead_cells(&lib);
+        println!("  {:<10} {l_d:>8} {l_a:>8} {ov:>8}", v.name());
+        compare_row(&format!("{} D->OUT", v.name()), f64::from(l_d), f64::from(p_d), "cycles");
+        compare_row(&format!("{} A->OUT", v.name()), f64::from(l_a), f64::from(p_a), "cycles");
+        compare_row(&format!("{} overhead", v.name()), ov as f64, p_ov as f64, "cells");
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared plumbing for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every evaluation artifact of the paper has a binary here (see
+//! `DESIGN.md`'s experiment index); each prints the measured values next
+//! to the paper's, so `EXPERIMENTS.md` can be refreshed by rerunning:
+//!
+//! ```text
+//! cargo run --release -p socet-bench --bin fig6_cpu_versions
+//! cargo run --release -p socet-bench --bin fig8_core_versions
+//! cargo run --release -p socet-bench --bin fig10_design_space
+//! cargo run --release -p socet-bench --bin table1_design_points
+//! cargo run --release -p socet-bench --bin table2_area_overheads
+//! cargo run --release -p socet-bench --bin table3_testability
+//! cargo run --release -p socet-bench --bin worked_example_display
+//! ```
+
+use socet_atpg::{generate_tests, TestSet, TpgConfig};
+use socet_cells::{CellLibrary, DftCosts};
+use socet_core::CoreTestData;
+use socet_gate::{elaborate, GateNetlist};
+use socet_hscan::insert_hscan;
+use socet_rtl::{Core, Soc};
+use socet_transparency::synthesize_versions;
+
+/// Everything the experiments need for one system.
+pub struct PreparedSystem {
+    /// The SOC.
+    pub soc: Soc,
+    /// Chip-level planning inputs per core instance.
+    pub data: Vec<Option<CoreTestData>>,
+    /// Elaborated netlists per logic core.
+    pub netlists: Vec<Option<GateNetlist>>,
+    /// Generated test sets per logic core.
+    pub tests: Vec<Option<TestSet>>,
+}
+
+impl PreparedSystem {
+    /// Runs the core-level flow on `soc` with the default ATPG budget.
+    pub fn prepare(soc: Soc) -> PreparedSystem {
+        let costs = DftCosts::default();
+        let tpg = TpgConfig::default();
+        let mut data = Vec::new();
+        let mut netlists = Vec::new();
+        let mut tests = Vec::new();
+        for inst in soc.cores() {
+            if inst.is_memory() {
+                data.push(None);
+                netlists.push(None);
+                tests.push(None);
+                continue;
+            }
+            let core = inst.core();
+            let hscan = insert_hscan(core, &costs);
+            let versions = synthesize_versions(core, &hscan, &costs);
+            let elab = elaborate(core).expect("example cores elaborate");
+            let t = generate_tests(&elab.netlist, &tpg);
+            data.push(Some(CoreTestData {
+                versions,
+                hscan,
+                scan_vectors: t.vector_count(),
+            }));
+            netlists.push(Some(elab.netlist));
+            tests.push(Some(t));
+        }
+        PreparedSystem {
+            soc,
+            data,
+            netlists,
+            tests,
+        }
+    }
+
+    /// Full-scan vector count per core instance.
+    pub fn vectors(&self) -> Vec<u64> {
+        self.tests
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.vector_count() as u64).unwrap_or(0))
+            .collect()
+    }
+
+    /// HSCAN chain depth per core instance.
+    pub fn depths(&self) -> Vec<u64> {
+        self.data
+            .iter()
+            .map(|d| {
+                d.as_ref()
+                    .map(|d| d.hscan.sequential_depth() as u64)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Pre-DFT chip area (logic cores, elaborated) in cells.
+    pub fn original_area_cells(&self, lib: &CellLibrary) -> u64 {
+        self.netlists
+            .iter()
+            .flatten()
+            .map(|nl| nl.area().cells(lib))
+            .sum()
+    }
+
+    /// Total HSCAN overhead in cells.
+    pub fn hscan_cells(&self, lib: &CellLibrary) -> u64 {
+        self.data
+            .iter()
+            .flatten()
+            .map(|d| d.hscan.overhead_cells(lib))
+            .sum()
+    }
+
+    /// Merged per-core ATPG coverage.
+    pub fn aggregate_coverage(&self) -> socet_atpg::Coverage {
+        self.tests
+            .iter()
+            .flatten()
+            .fold(socet_atpg::Coverage::default(), |acc, t| acc.merge(&t.coverage))
+    }
+}
+
+/// Prints a `measured vs paper` row with a ratio, used by every table
+/// binary so the output format is uniform.
+pub fn compare_row(label: &str, measured: f64, paper: f64, unit: &str) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("  {label:<34} measured {measured:>10.1} {unit:<7} paper {paper:>10.1} {unit:<7} (x{ratio:.2})");
+}
+
+/// The version latency/overhead ladder of one core, as printed by the
+/// figure binaries.
+pub fn print_ladder(core: &Core, pairs: &[(&str, &str)]) {
+    let costs = DftCosts::default();
+    let lib = CellLibrary::generic_08um();
+    let hscan = insert_hscan(core, &costs);
+    let versions = synthesize_versions(core, &hscan, &costs);
+    print!("  {:<10}", "");
+    for (i, o) in pairs {
+        print!(" {:>14}", format!("{i}->{o}"));
+    }
+    println!(" {:>10}", "ovhd");
+    for v in &versions {
+        print!("  {:<10}", v.name());
+        for (i, o) in pairs {
+            let ip = core.find_port(i).expect("port exists");
+            let op = core.find_port(o).expect("port exists");
+            match v.pair_latency(ip, op) {
+                Some(l) => print!(" {l:>14}"),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!(" {:>10}", v.overhead_cells(&lib));
+    }
+}

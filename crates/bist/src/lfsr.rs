@@ -1,0 +1,202 @@
+//! Linear-feedback shift registers: the BIST pattern source.
+
+use socet_gate::{GateKind, GateNetlistBuilder, SignalId};
+use std::fmt;
+
+/// A Fibonacci LFSR over `width` bits with the given feedback taps
+/// (bit indices whose XOR feeds the shift-in).
+///
+/// # Examples
+///
+/// ```
+/// use socet_bist::Lfsr;
+/// // The maximal-length 4-bit LFSR (x^4 + x^3 + 1) cycles through all
+/// // 15 non-zero states.
+/// let mut l = Lfsr::new(4, &[3, 2]);
+/// let start = l.state();
+/// let mut seen = std::collections::HashSet::new();
+/// loop {
+///     seen.insert(l.state());
+///     l.step();
+///     if l.state() == start {
+///         break;
+///     }
+/// }
+/// assert_eq!(seen.len(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u16,
+    taps: Vec<u16>,
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR seeded with all-ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 64, or a tap is out of range.
+    pub fn new(width: u16, taps: &[u16]) -> Self {
+        assert!(width > 0 && width <= 64, "LFSR width {width}");
+        for &t in taps {
+            assert!(t < width, "tap {t} out of range for width {width}");
+        }
+        Lfsr {
+            width,
+            taps: taps.to_vec(),
+            state: (1u64 << (width - 1)) | 1,
+        }
+    }
+
+    /// Reseeds the register. A zero seed is coerced to 1 (the all-zero
+    /// state is a fixed point).
+    pub fn seed(&mut self, seed: u64) {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        self.state = (seed & mask).max(1);
+    }
+
+    /// The current state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Advances one clock and returns the new state.
+    pub fn step(&mut self) -> u64 {
+        let fb = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ (self.state >> t))
+            & 1;
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        self.state = ((self.state << 1) | fb) & mask;
+        if self.state == 0 {
+            self.state = 1;
+        }
+        self.state
+    }
+
+    /// The next `n` states, as a pattern stream.
+    pub fn stream(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Builds the gate-level equivalent into `b`: `width` flip-flops in a
+    /// shift configuration with an XOR feedback network. Returns the Q
+    /// signals, bit 0 first.
+    ///
+    /// The hardware cost is what [`plan_memory_bist`](crate::plan_memory_bist)
+    /// charges: one DFF per bit plus one XOR per extra tap.
+    pub fn build_gates(&self, b: &mut GateNetlistBuilder) -> Vec<SignalId> {
+        let qs: Vec<SignalId> = (0..self.width).map(|_| b.dff_deferred()).collect();
+        // Feedback XOR tree over the taps.
+        let tap_sigs: Vec<SignalId> = self.taps.iter().map(|&t| qs[t as usize]).collect();
+        let fb = if tap_sigs.is_empty() {
+            qs[self.width as usize - 1]
+        } else {
+            b.tree(GateKind::Xor2, &tap_sigs)
+        };
+        b.set_dff_input(qs[0], fb);
+        for k in 1..self.width as usize {
+            b.set_dff_input(qs[k], qs[k - 1]);
+        }
+        qs
+    }
+}
+
+impl fmt::Display for Lfsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lfsr-{} taps {:?} state {:#x}", self.width, self.taps, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_gate::{GateNetlistBuilder, SeqSim, Tri};
+
+    #[test]
+    fn maximal_length_sequences() {
+        // Known maximal-length polynomials: (width, taps).
+        for (w, taps) in [(3u16, vec![2u16, 1]), (4, vec![3, 2]), (5, vec![4, 2]), (7, vec![6, 5])] {
+            let mut l = Lfsr::new(w, &taps);
+            let start = l.state();
+            let mut count = 0usize;
+            loop {
+                l.step();
+                count += 1;
+                if l.state() == start {
+                    break;
+                }
+                assert!(count < 1 << w, "period too long for width {w}");
+            }
+            assert_eq!(count, (1 << w) - 1, "width {w} not maximal");
+        }
+    }
+
+    #[test]
+    fn zero_state_is_avoided() {
+        let mut l = Lfsr::new(4, &[3, 2]);
+        l.seed(0);
+        assert_ne!(l.state(), 0);
+        for _ in 0..100 {
+            assert_ne!(l.step(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let mut a = Lfsr::new(8, &[7, 5, 4, 3]);
+        let mut b = Lfsr::new(8, &[7, 5, 4, 3]);
+        assert_eq!(a.stream(50), b.stream(50));
+    }
+
+    #[test]
+    fn gate_level_matches_software_model() {
+        let model = Lfsr::new(4, &[3, 2]);
+        let mut b = GateNetlistBuilder::new("lfsr4");
+        // SeqSim needs at least one input; add a dummy.
+        let _clk_en = b.input("dummy");
+        let qs = model.build_gates(&mut b);
+        for (k, q) in qs.iter().enumerate() {
+            b.output(&format!("q{k}"), *q);
+        }
+        let nl = b.build().unwrap();
+        let mut sim = SeqSim::new(&nl);
+        // Force the initial state to the model's by stepping the model's
+        // state into the sim: instead, seed via direct state comparison —
+        // start both from the software seed by running the gate sim from a
+        // known state. SeqSim starts at X; clock once with... simplest:
+        // verify the *transition function* on every state.
+        for state in 1u64..16 {
+            let mut m = Lfsr::new(4, &[3, 2]);
+            m.seed(state);
+            let expected = m.step();
+            // Compute the gate-level next state combinationally.
+            let sim_nl = &nl;
+            let comb = socet_gate::CombSim::new(sim_nl);
+            let ff: Vec<bool> = (0..4).map(|k| state >> k & 1 != 0).collect();
+            let (_, next) = comb.run_with_state(&[false], &ff);
+            let got: u64 = next
+                .iter()
+                .enumerate()
+                .map(|(k, &b)| if b { 1 << k } else { 0 })
+                .sum();
+            assert_eq!(got, expected, "state {state:#x}");
+        }
+        let _ = sim.step(&[Tri::Zero], None);
+    }
+}

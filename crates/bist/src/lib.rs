@@ -1,0 +1,59 @@
+//! Memory built-in self-test (BIST) substrate.
+//!
+//! The paper excludes RAM/ROM cores from transparency routing because
+//! "most memory cores use BIST \[8\]" (Zorian's distributed BIST control
+//! scheme). This crate supplies that missing piece so a complete SOC test
+//! plan can cover the memories too:
+//!
+//! * [`Lfsr`] — linear-feedback shift registers, as a software model and as
+//!   a gate-level generator (pattern source);
+//! * [`Misr`] — multiple-input signature registers (response compactor);
+//! * [`MemoryModel`] / [`march_c`] — a behavioural word-addressed memory
+//!   with injectable cell faults, and the March C− algorithm that detects
+//!   them in `10·N` operations;
+//! * [`MemoryBistPlan`] — per-memory-core BIST accounting (area overhead,
+//!   test cycles) that composes with the SOCET chip-level plan: BIST runs
+//!   concurrently with the logic-core episodes under the paper's
+//!   distributed control scheme, so it adds area but usually no test time.
+//!
+//! # Examples
+//!
+//! ```
+//! use socet_bist::{march_c, MemoryFault, MemoryModel};
+//! let mut mem = MemoryModel::new(64, 8);
+//! mem.inject(MemoryFault::StuckBit { addr: 13, bit: 2, value: true });
+//! let log = march_c(&mut mem);
+//! assert!(log.fault_detected);
+//! assert_eq!(log.operations, 10 * 64);
+//! ```
+
+pub mod lfsr;
+pub mod march;
+pub mod misr;
+pub mod plan;
+
+#[cfg(test)]
+mod proptests;
+
+pub use lfsr::Lfsr;
+pub use march::{march_c, MarchLog, MemoryFault, MemoryModel};
+pub use misr::Misr;
+pub use plan::{plan_memory_bist, MemoryBistPlan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_doc_example() {
+        let mut mem = MemoryModel::new(64, 8);
+        mem.inject(MemoryFault::StuckBit {
+            addr: 13,
+            bit: 2,
+            value: true,
+        });
+        let log = march_c(&mut mem);
+        assert!(log.fault_detected);
+        assert_eq!(log.operations, 640);
+    }
+}

@@ -1,0 +1,310 @@
+//! A behavioural memory model with injectable cell faults, and the
+//! March C− test algorithm.
+
+use std::fmt;
+
+/// A fault injected into a [`MemoryModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryFault {
+    /// Bit `bit` of word `addr` always reads `value`.
+    StuckBit {
+        /// The faulty word.
+        addr: usize,
+        /// The faulty bit within the word.
+        bit: u16,
+        /// The stuck value.
+        value: bool,
+    },
+    /// Writing the aggressor word flips bit `victim_bit` of `victim_addr`
+    /// (an inversion coupling fault).
+    Coupling {
+        /// Writes to this word trigger the fault.
+        aggressor_addr: usize,
+        /// The disturbed word.
+        victim_addr: usize,
+        /// The disturbed bit.
+        victim_bit: u16,
+    },
+}
+
+/// A word-addressed memory with fault injection, the device-under-test of
+/// [`march_c`].
+///
+/// # Examples
+///
+/// ```
+/// use socet_bist::MemoryModel;
+/// let mut mem = MemoryModel::new(16, 8);
+/// mem.write(3, 0xa5);
+/// assert_eq!(mem.read(3), 0xa5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    words: Vec<u64>,
+    width: u16,
+    faults: Vec<MemoryFault>,
+}
+
+impl MemoryModel {
+    /// A fault-free memory of `size` words, `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or `width` is 0 or above 64.
+    pub fn new(size: usize, width: u16) -> Self {
+        assert!(size > 0, "empty memory");
+        assert!(width > 0 && width <= 64, "memory width {width}");
+        MemoryModel {
+            words: vec![0; size],
+            width,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Number of words.
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Injects a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references an address or bit out of range.
+    pub fn inject(&mut self, fault: MemoryFault) {
+        match fault {
+            MemoryFault::StuckBit { addr, bit, .. } => {
+                assert!(addr < self.words.len(), "fault addr {addr}");
+                assert!(bit < self.width, "fault bit {bit}");
+            }
+            MemoryFault::Coupling {
+                aggressor_addr,
+                victim_addr,
+                victim_bit,
+            } => {
+                assert!(aggressor_addr < self.words.len(), "aggressor {aggressor_addr}");
+                assert!(victim_addr < self.words.len(), "victim {victim_addr}");
+                assert!(victim_bit < self.width, "victim bit {victim_bit}");
+                assert_ne!(aggressor_addr, victim_addr, "self-coupling");
+            }
+        }
+        self.faults.push(fault);
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Writes `value` to `addr`, triggering coupling faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: u64) {
+        let v = value & self.mask();
+        self.words[addr] = v;
+        let triggered: Vec<(usize, u16)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                MemoryFault::Coupling {
+                    aggressor_addr,
+                    victim_addr,
+                    victim_bit,
+                } if *aggressor_addr == addr => Some((*victim_addr, *victim_bit)),
+                _ => None,
+            })
+            .collect();
+        for (victim, bit) in triggered {
+            self.words[victim] ^= 1 << bit;
+        }
+    }
+
+    /// Reads `addr`, applying stuck-bit faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: usize) -> u64 {
+        let mut v = self.words[addr];
+        for f in &self.faults {
+            if let MemoryFault::StuckBit { addr: a, bit, value } = f {
+                if *a == addr {
+                    if *value {
+                        v |= 1 << bit;
+                    } else {
+                        v &= !(1 << bit);
+                    }
+                }
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory {}x{} ({} faults)",
+            self.words.len(),
+            self.width,
+            self.faults.len()
+        )
+    }
+}
+
+/// The outcome of one March C− run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarchLog {
+    /// Whether any read mismatched its expectation.
+    pub fault_detected: bool,
+    /// Total read/write operations performed (`10·N` for March C−).
+    pub operations: usize,
+}
+
+/// Runs March C− over `mem`:
+///
+/// ```text
+/// ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)
+/// ```
+///
+/// Detects all stuck-at, transition, address-decoder and inversion
+/// coupling faults in `10·N` operations.
+///
+/// # Examples
+///
+/// ```
+/// use socet_bist::{march_c, MemoryModel};
+/// let mut clean = MemoryModel::new(32, 16);
+/// assert!(!march_c(&mut clean).fault_detected);
+/// ```
+pub fn march_c(mem: &mut MemoryModel) -> MarchLog {
+    let n = mem.size();
+    let ones = if mem.width() == 64 {
+        u64::MAX
+    } else {
+        (1 << mem.width()) - 1
+    };
+    let mut ops = 0usize;
+    let mut detected = false;
+    let check = |got: u64, want: u64, detected: &mut bool| {
+        if got != want {
+            *detected = true;
+        }
+    };
+    // ⇕(w0)
+    for a in 0..n {
+        mem.write(a, 0);
+        ops += 1;
+    }
+    // ⇑(r0, w1)
+    for a in 0..n {
+        check(mem.read(a), 0, &mut detected);
+        mem.write(a, ones);
+        ops += 2;
+    }
+    // ⇑(r1, w0)
+    for a in 0..n {
+        check(mem.read(a), ones, &mut detected);
+        mem.write(a, 0);
+        ops += 2;
+    }
+    // ⇓(r0, w1)
+    for a in (0..n).rev() {
+        check(mem.read(a), 0, &mut detected);
+        mem.write(a, ones);
+        ops += 2;
+    }
+    // ⇓(r1, w0)
+    for a in (0..n).rev() {
+        check(mem.read(a), ones, &mut detected);
+        mem.write(a, 0);
+        ops += 2;
+    }
+    // ⇕(r0)
+    for a in 0..n {
+        check(mem.read(a), 0, &mut detected);
+        ops += 1;
+    }
+    MarchLog {
+        fault_detected: detected,
+        operations: ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_memory_passes() {
+        let mut mem = MemoryModel::new(128, 8);
+        let log = march_c(&mut mem);
+        assert!(!log.fault_detected);
+        assert_eq!(log.operations, 1280);
+    }
+
+    #[test]
+    fn every_stuck_bit_is_detected() {
+        for addr in [0usize, 7, 63] {
+            for bit in [0u16, 3, 7] {
+                for value in [false, true] {
+                    let mut mem = MemoryModel::new(64, 8);
+                    mem.inject(MemoryFault::StuckBit { addr, bit, value });
+                    assert!(
+                        march_c(&mut mem).fault_detected,
+                        "stuck {addr}/{bit}={value} missed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_faults_are_detected() {
+        for (agg, vic) in [(0usize, 5usize), (5, 0), (31, 30), (30, 31)] {
+            let mut mem = MemoryModel::new(32, 8);
+            mem.inject(MemoryFault::Coupling {
+                aggressor_addr: agg,
+                victim_addr: vic,
+                victim_bit: 4,
+            });
+            assert!(
+                march_c(&mut mem).fault_detected,
+                "coupling {agg}->{vic} missed"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_and_writes_roundtrip() {
+        let mut mem = MemoryModel::new(8, 12);
+        for a in 0..8 {
+            mem.write(a, (a as u64) * 0x111);
+        }
+        for a in 0..8 {
+            assert_eq!(mem.read(a), ((a as u64) * 0x111) & 0xfff);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_rejected() {
+        let mut mem = MemoryModel::new(8, 8);
+        mem.inject(MemoryFault::Coupling {
+            aggressor_addr: 3,
+            victim_addr: 3,
+            victim_bit: 0,
+        });
+    }
+}

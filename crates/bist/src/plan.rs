@@ -1,0 +1,172 @@
+//! Per-memory-core BIST planning: area overhead and test time, composable
+//! with the SOCET chip-level plan.
+
+use crate::lfsr::Lfsr;
+use crate::misr::Misr;
+use socet_cells::{AreaReport, CellKind, CellLibrary};
+use socet_gate::GateNetlistBuilder;
+use socet_rtl::{CoreInstanceId, Soc};
+use std::fmt;
+
+/// The BIST plan of one memory core: an address LFSR, a data MISR, a small
+/// controller, and a March C− schedule.
+#[derive(Debug, Clone)]
+pub struct MemoryBistPlan {
+    /// The memory core instance.
+    pub core: CoreInstanceId,
+    /// Address bits (LFSR width).
+    pub addr_width: u16,
+    /// Data bits (MISR width).
+    pub data_width: u16,
+    /// Words covered.
+    pub words: usize,
+    /// BIST hardware area.
+    pub area: AreaReport,
+}
+
+impl MemoryBistPlan {
+    /// March C− test length in cycles (one memory operation per cycle).
+    pub fn test_cycles(&self) -> u64 {
+        10 * self.words as u64
+    }
+
+    /// BIST overhead in cells.
+    pub fn overhead_cells(&self, lib: &CellLibrary) -> u64 {
+        self.area.cells(lib)
+    }
+}
+
+impl fmt::Display for MemoryBistPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bist for {}: {} words, {} cycles, {}",
+            self.core,
+            self.words,
+            self.test_cycles(),
+            self.area
+        )
+    }
+}
+
+/// Plans distributed BIST for every memory core of `soc` (the paper's \[8\]:
+/// each memory gets its own pattern generator and compactor so all
+/// memories test concurrently with the logic-core episodes).
+///
+/// The address width is taken from the memory core's widest input port,
+/// the data width from its widest output port; hardware is costed by
+/// actually building the LFSR/MISR gate structures and counting cells.
+///
+/// # Examples
+///
+/// ```
+/// use socet_bist::plan_memory_bist;
+/// use socet_cells::CellLibrary;
+/// let soc = socet_socs::barcode_system();
+/// let plans = plan_memory_bist(&soc);
+/// assert_eq!(plans.len(), 2); // RAM and ROM
+/// let lib = CellLibrary::generic_08um();
+/// for p in &plans {
+///     assert!(p.overhead_cells(&lib) > 0);
+///     assert!(p.test_cycles() > 0);
+/// }
+/// ```
+pub fn plan_memory_bist(soc: &Soc) -> Vec<MemoryBistPlan> {
+    let mut plans = Vec::new();
+    for (i, inst) in soc.cores().iter().enumerate() {
+        if !inst.is_memory() {
+            continue;
+        }
+        let core = inst.core();
+        let addr_width = core
+            .input_ports()
+            .iter()
+            .map(|p| core.port(*p).width())
+            .max()
+            .unwrap_or(1)
+            .min(24);
+        let data_width = core
+            .output_ports()
+            .iter()
+            .map(|p| core.port(*p).width())
+            .max()
+            .unwrap_or(1);
+        let words = 1usize << addr_width.min(20);
+        // Cost the hardware by building it.
+        let mut b = GateNetlistBuilder::new("bist");
+        let lfsr = Lfsr::new(addr_width, &default_taps(addr_width));
+        let addr = lfsr.build_gates(&mut b);
+        let data_ins: Vec<_> = (0..data_width)
+            .map(|k| b.input(&format!("d{k}")))
+            .collect();
+        let misr = Misr::new(data_width, &default_taps(data_width));
+        let sig = misr.build_gates(&mut b, &data_ins);
+        for (k, s) in addr.iter().chain(sig.iter()).enumerate() {
+            b.output(&format!("o{k}"), *s);
+        }
+        let nl = b.build().expect("BIST structures are well-formed");
+        let mut area = nl.area();
+        // Controller FSM: a handful of cells for the March sequencer.
+        area.tally(CellKind::Dff, 4);
+        area.tally(CellKind::And2, 12);
+        plans.push(MemoryBistPlan {
+            core: core_id(i),
+            addr_width,
+            data_width,
+            words,
+            area,
+        });
+    }
+    plans
+}
+
+/// A serviceable (not necessarily maximal) tap set for any width: the top
+/// bit plus a mid bit.
+fn default_taps(width: u16) -> Vec<u16> {
+    if width == 1 {
+        vec![0]
+    } else {
+        vec![width - 1, width / 2]
+    }
+}
+
+fn core_id(i: usize) -> CoreInstanceId {
+    // CoreInstanceIds are dense; recover through the public iterator
+    // contract (index == position).
+    CoreInstanceId::from_index(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barcode_memories_get_plans() {
+        let soc = socet_socs::barcode_system();
+        let plans = plan_memory_bist(&soc);
+        assert_eq!(plans.len(), 2);
+        let lib = CellLibrary::generic_08um();
+        for p in &plans {
+            // 12-bit address LFSR + 8-bit data MISR + controller: tens of
+            // cells, thousands of cycles (4K words x 10 ops).
+            assert!(p.overhead_cells(&lib) >= 20, "{p}");
+            assert_eq!(p.test_cycles(), 10 * (1 << 12));
+            assert!(soc.core(p.core).is_memory());
+        }
+    }
+
+    #[test]
+    fn logic_only_soc_needs_no_bist() {
+        let soc = socet_socs::system2();
+        assert!(plan_memory_bist(&soc).is_empty());
+    }
+
+    #[test]
+    fn taps_are_in_range() {
+        for w in 1u16..24 {
+            for t in default_taps(w) {
+                assert!(t < w);
+            }
+        }
+    }
+}

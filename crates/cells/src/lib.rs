@@ -1,0 +1,38 @@
+//! Standard-cell library and area model for the SOCET workspace.
+//!
+//! The DAC'98 paper reports every area number in *cells* — the cell count of
+//! the design after technology mapping with a .8µm library using an in-house
+//! synthesis tool. This crate is the stand-in for that library and tool's
+//! accounting side: it defines the cell kinds the rest of the workspace maps
+//! RTL constructs onto, the per-kind area, and the [`AreaReport`] bookkeeping
+//! used by the DFT engines to report overheads.
+//!
+//! # Examples
+//!
+//! ```
+//! use socet_cells::{CellKind, CellLibrary, AreaReport};
+//!
+//! let lib = CellLibrary::generic_08um();
+//! let mut area = AreaReport::new();
+//! area.tally(CellKind::Mux2, 8); // an 8-bit 2:1 multiplexer
+//! area.tally(CellKind::Dff, 8);  // an 8-bit register
+//! assert_eq!(area.cells(&lib), 8 * u64::from(lib.area_of(CellKind::Mux2))
+//!     + 8 * u64::from(lib.area_of(CellKind::Dff)));
+//! ```
+
+pub mod library;
+pub mod report;
+
+pub use library::{CellKind, CellLibrary};
+pub use report::{AreaReport, DftCosts};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_are_usable() {
+        let lib = CellLibrary::generic_08um();
+        assert!(lib.area_of(CellKind::ScanDff) > lib.area_of(CellKind::Inv));
+    }
+}

@@ -1,0 +1,287 @@
+//! Area accounting: per-kind instance counts and DFT cost constants.
+
+use crate::library::{CellKind, CellLibrary};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A tally of cell instances, convertible to a cell-unit area under a
+/// [`CellLibrary`].
+///
+/// Every DFT engine in the workspace reports its overhead as an `AreaReport`
+/// so that the chip-level flow can sum, compare and print them in the same
+/// "(cells)" unit the paper uses.
+///
+/// # Examples
+///
+/// ```
+/// use socet_cells::{AreaReport, CellKind, CellLibrary};
+/// let lib = CellLibrary::generic_08um();
+/// let mut hscan = AreaReport::new();
+/// hscan.tally(CellKind::Or2, 1);   // load-enable OR gate
+/// hscan.tally(CellKind::And2, 2);  // select gating
+/// let mut freeze = AreaReport::new();
+/// freeze.tally(CellKind::And2, 1);
+/// let total = hscan + freeze;
+/// assert_eq!(total.count(CellKind::And2), 3);
+/// assert_eq!(total.cells(&lib), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AreaReport {
+    counts: [u64; CellKind::ALL.len()],
+}
+
+impl AreaReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        AreaReport::default()
+    }
+
+    /// A report containing `n` instances of `kind`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_cells::{AreaReport, CellKind};
+    /// let r = AreaReport::of(CellKind::Mux2, 4);
+    /// assert_eq!(r.count(CellKind::Mux2), 4);
+    /// ```
+    pub fn of(kind: CellKind, n: u64) -> Self {
+        let mut r = AreaReport::new();
+        r.tally(kind, n);
+        r
+    }
+
+    /// Adds `n` instances of `kind`.
+    pub fn tally(&mut self, kind: CellKind, n: u64) {
+        self.counts[Self::idx(kind)] += n;
+    }
+
+    /// Number of instances of `kind` tallied so far.
+    pub fn count(&self, kind: CellKind) -> u64 {
+        self.counts[Self::idx(kind)]
+    }
+
+    /// Total instance count across all kinds (not area-weighted).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_cells::{AreaReport, CellKind};
+    /// let mut r = AreaReport::new();
+    /// r.tally(CellKind::Dff, 3);
+    /// r.tally(CellKind::Inv, 2);
+    /// assert_eq!(r.instances(), 5);
+    /// ```
+    pub fn instances(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Area in cell units under `lib`.
+    pub fn cells(&self, lib: &CellLibrary) -> u64 {
+        CellKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| self.counts[i] * u64::from(lib.area_of(*kind)))
+            .sum()
+    }
+
+    /// Whether the report tallies nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Iterates over `(kind, count)` pairs with non-zero counts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_cells::{AreaReport, CellKind};
+    /// let r = AreaReport::of(CellKind::Latch, 2);
+    /// let pairs: Vec<_> = r.iter().collect();
+    /// assert_eq!(pairs, vec![(CellKind::Latch, 2)]);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, u64)> + '_ {
+        CellKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.counts[*i] > 0)
+            .map(|(i, kind)| (*kind, self.counts[i]))
+    }
+
+    fn idx(kind: CellKind) -> usize {
+        CellKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("CellKind::ALL covers every variant")
+    }
+}
+
+impl Add for AreaReport {
+    type Output = AreaReport;
+
+    fn add(mut self, rhs: AreaReport) -> AreaReport {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for AreaReport {
+    fn add_assign(&mut self, rhs: AreaReport) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl Sum for AreaReport {
+    fn sum<I: Iterator<Item = AreaReport>>(iter: I) -> AreaReport {
+        iter.fold(AreaReport::new(), |acc, r| acc + r)
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (kind, count) in self.iter() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{count}x{kind}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "0 cells")?;
+        }
+        Ok(())
+    }
+}
+
+/// Cost constants for DFT structures, in cells per bit or per instance.
+///
+/// These are the knobs the paper's "in-house synthesis tool" would have fixed
+/// implicitly; the defaults are calibrated so that the worked examples (CPU
+/// Versions 1–3, Fig. 6; PREPROCESSOR/DISPLAY, Fig. 8) land in the reported
+/// ranges.
+///
+/// # Examples
+///
+/// ```
+/// use socet_cells::DftCosts;
+/// let costs = DftCosts::default();
+/// assert!(costs.transparency_mux_per_bit >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DftCosts {
+    /// Extra gates to reuse an existing select-1 mux path for HSCAN (per
+    /// chain, not per bit): the two gates of Fig. 1(a).
+    pub hscan_mux_reuse_gates: u64,
+    /// Extra gates to force the select-0 path of an existing mux, Fig. 1(b).
+    pub hscan_mux_select0_gates: u64,
+    /// Gates for a direct register-to-register connection (OR at the load
+    /// signal), Fig. 1 text.
+    pub hscan_direct_or_gates: u64,
+    /// Cells per bit for a test multiplexer integrated into scan flip-flops
+    /// (scan DFF premium over a plain DFF).
+    pub hscan_test_mux_per_bit: u64,
+    /// Cells of freeze (hold) logic per frozen register, inserted to
+    /// balance parallel transparency sub-paths (load-enable gating).
+    pub freeze_gates_per_register: u64,
+    /// Cells of select-line steering logic to reuse one non-HSCAN mux edge
+    /// for transparency (per edge).
+    pub nonhscan_select_gates: u64,
+    /// Cells per bit of a dedicated transparency multiplexer.
+    pub transparency_mux_per_bit: u64,
+    /// Cells per bit of a system-level test multiplexer at chip level.
+    pub system_test_mux_per_bit: u64,
+    /// Cells per boundary-scan cell (per port bit) for the FSCAN-BSCAN
+    /// baseline.
+    pub bscan_cell_per_bit: u64,
+    /// Cells of premium per flip-flop for full-scan conversion.
+    pub fscan_per_ff: u64,
+    /// Fixed cells for the chip-level test controller FSM.
+    pub test_controller_cells: u64,
+    /// Cells of clock-gating circuitry per logic core (the paper requires
+    /// each core's clock to be freezable independently).
+    pub clock_gate_per_core: u64,
+}
+
+impl Default for DftCosts {
+    fn default() -> Self {
+        DftCosts {
+            hscan_mux_reuse_gates: 2,
+            hscan_mux_select0_gates: 2,
+            hscan_direct_or_gates: 1,
+            hscan_test_mux_per_bit: 1,
+            freeze_gates_per_register: 3,
+            nonhscan_select_gates: 7,
+            transparency_mux_per_bit: 5,
+            system_test_mux_per_bit: 1,
+            bscan_cell_per_bit: 3,
+            fscan_per_ff: 1,
+            test_controller_cells: 24,
+            clock_gate_per_core: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = AreaReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.instances(), 0);
+        assert_eq!(r.cells(&CellLibrary::generic_08um()), 0);
+        assert_eq!(r.to_string(), "0 cells");
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = AreaReport::of(CellKind::Dff, 2);
+        a += AreaReport::of(CellKind::Dff, 3);
+        assert_eq!(a.count(CellKind::Dff), 5);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: AreaReport = (0..4).map(|_| AreaReport::of(CellKind::Inv, 1)).sum();
+        assert_eq!(total.count(CellKind::Inv), 4);
+    }
+
+    #[test]
+    fn cells_is_area_weighted() {
+        let lib = CellLibrary::generic_08um();
+        let r = AreaReport::of(CellKind::ScanDff, 10);
+        assert_eq!(r.cells(&lib), 10 * u64::from(lib.area_of(CellKind::ScanDff)));
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let mut r = AreaReport::of(CellKind::Mux2, 2);
+        r.tally(CellKind::Or2, 1);
+        let s = r.to_string();
+        assert!(s.contains("2xMUX2"), "{s}");
+        assert!(s.contains("1xOR2"), "{s}");
+    }
+
+    #[test]
+    fn default_costs_are_positive() {
+        let c = DftCosts::default();
+        for v in [
+            c.hscan_mux_reuse_gates,
+            c.hscan_direct_or_gates,
+            c.freeze_gates_per_register,
+            c.nonhscan_select_gates,
+            c.transparency_mux_per_bit,
+            c.system_test_mux_per_bit,
+            c.bscan_cell_per_bit,
+            c.fscan_per_ff,
+            c.test_controller_cells,
+        ] {
+            assert!(v > 0);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The core connectivity graph (CCG) of §5 of the paper.
+//!
+//! Nodes are chip PIs and POs plus every logic core's input and output
+//! ports; edges are the chip-level interconnect (zero latency) and the
+//! transparency paths of each core's *selected version* (their latency is
+//! the edge cost). Transparency edges carry *resources* — the RCG edges the
+//! transfer occupies plus the source port itself — which the scheduler
+//! reserves over time intervals, reproducing the paper's "reserve the edges
+//! for the cycles in which they will be used".
+
+use crate::plan::CoreTestData;
+use socet_rtl::{ChipPinId, CoreInstanceId, Direction, PortId, Soc, SocEndpoint};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node of the CCG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcgNode {
+    /// A chip primary input.
+    Pi(ChipPinId),
+    /// A chip primary output.
+    Po(ChipPinId),
+    /// An input port of a logic core.
+    CoreIn(CoreInstanceId, PortId),
+    /// An output port of a logic core.
+    CoreOut(CoreInstanceId, PortId),
+}
+
+impl fmt::Display for CcgNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcgNode::Pi(p) => write!(f, "PI:{p}"),
+            CcgNode::Po(p) => write!(f, "PO:{p}"),
+            CcgNode::CoreIn(c, p) => write!(f, "{c}.in:{p}"),
+            CcgNode::CoreOut(c, p) => write!(f, "{c}.out:{p}"),
+        }
+    }
+}
+
+/// A resource a transparency transfer occupies for its duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// An RCG edge inside a core (identified by its index).
+    RcgEdge(CoreInstanceId, u32),
+    /// A core input port: it can present only one value stream at a time.
+    InputPort(CoreInstanceId, PortId),
+}
+
+/// What realizes a CCG edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcgEdgeKind {
+    /// A chip-level net: free, instantaneous, conflict-free. `net` is the
+    /// index of the [`SocNet`](socet_rtl::SocNet) behind it.
+    Interconnect {
+        /// Index into [`Soc::nets`](socet_rtl::Soc::nets).
+        net: usize,
+    },
+    /// A transparency path of `core`'s selected version (`path` indexes the
+    /// version's path list).
+    Transparency {
+        /// The core the data passes through.
+        core: CoreInstanceId,
+        /// Index of the path within the selected version.
+        path: usize,
+    },
+}
+
+/// One CCG edge.
+#[derive(Debug, Clone)]
+pub struct CcgEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Transfer latency in cycles.
+    pub latency: u32,
+    /// Realization.
+    pub kind: CcgEdgeKind,
+    /// Resources occupied while the transfer is in flight.
+    pub resources: Vec<Resource>,
+}
+
+/// The core connectivity graph for one version choice.
+#[derive(Debug, Clone)]
+pub struct Ccg {
+    nodes: Vec<CcgNode>,
+    index: HashMap<CcgNode, usize>,
+    edges: Vec<CcgEdge>,
+    out_edges: Vec<Vec<usize>>,
+    pis: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+impl Ccg {
+    /// Builds the CCG of `soc` with each logic core using
+    /// `choice[core.index()]` of its version ladder.
+    ///
+    /// `data[i]` must be `Some` for every logic core and may be `None` for
+    /// memory cores (which take no part in test routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a logic core lacks test data or its choice is out of
+    /// range.
+    pub fn build(soc: &Soc, data: &[Option<CoreTestData>], choice: &[usize]) -> Ccg {
+        let mut ccg = Ccg {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            edges: Vec::new(),
+            out_edges: Vec::new(),
+            pis: Vec::new(),
+            pos: Vec::new(),
+        };
+        // Pins.
+        for pin in soc.primary_inputs() {
+            let i = ccg.intern(CcgNode::Pi(pin));
+            ccg.pis.push(i);
+        }
+        for pin in soc.primary_outputs() {
+            let i = ccg.intern(CcgNode::Po(pin));
+            ccg.pos.push(i);
+        }
+        // Core ports and transparency edges.
+        for cid in soc.logic_cores() {
+            let inst = soc.core(cid);
+            let core = inst.core();
+            for p in core.input_ports() {
+                ccg.intern(CcgNode::CoreIn(cid, p));
+            }
+            for p in core.output_ports() {
+                ccg.intern(CcgNode::CoreOut(cid, p));
+            }
+            let td = data[cid.index()]
+                .as_ref()
+                .unwrap_or_else(|| panic!("logic core {cid} lacks test data"));
+            let version = &td.versions[choice[cid.index()]];
+            for (input, output, latency, path) in version.pairs() {
+                let from = ccg.intern(CcgNode::CoreIn(cid, input));
+                let to = ccg.intern(CcgNode::CoreOut(cid, output));
+                let mut resources: Vec<Resource> = version.paths()[path]
+                    .edges
+                    .iter()
+                    .map(|e| Resource::RcgEdge(cid, e.index() as u32))
+                    .collect();
+                resources.push(Resource::InputPort(cid, input));
+                ccg.add_edge(CcgEdge {
+                    from,
+                    to,
+                    latency,
+                    kind: CcgEdgeKind::Transparency { core: cid, path },
+                    resources,
+                });
+            }
+        }
+        // Interconnect from the SOC nets (skipping memory-core endpoints).
+        for (ni, net) in soc.nets().iter().enumerate() {
+            let from = ccg.net_node(soc, &net.src);
+            let to = ccg.net_node(soc, &net.dst);
+            if let (Some(from), Some(to)) = (from, to) {
+                ccg.add_edge(CcgEdge {
+                    from,
+                    to,
+                    latency: 0,
+                    kind: CcgEdgeKind::Interconnect { net: ni },
+                    resources: Vec::new(),
+                });
+            }
+        }
+        ccg
+    }
+
+    fn net_node(&mut self, soc: &Soc, ep: &SocEndpoint) -> Option<usize> {
+        match *ep {
+            SocEndpoint::Pin { pin, .. } => {
+                let node = match soc.pin(pin).direction() {
+                    Direction::In => CcgNode::Pi(pin),
+                    Direction::Out => CcgNode::Po(pin),
+                };
+                Some(self.intern(node))
+            }
+            SocEndpoint::CorePort { core, port, .. } => {
+                if soc.core(core).is_memory() {
+                    return None;
+                }
+                let dir = soc.core(core).core().port(port).direction();
+                let node = match dir {
+                    Direction::In => CcgNode::CoreIn(core, port),
+                    Direction::Out => CcgNode::CoreOut(core, port),
+                };
+                Some(self.intern(node))
+            }
+        }
+    }
+
+    fn intern(&mut self, node: CcgNode) -> usize {
+        if let Some(&i) = self.index.get(&node) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(node);
+        self.index.insert(node, i);
+        self.out_edges.push(Vec::new());
+        i
+    }
+
+    fn add_edge(&mut self, edge: CcgEdge) {
+        let ei = self.edges.len();
+        self.out_edges[edge.from].push(ei);
+        self.edges.push(edge);
+    }
+
+    /// All nodes; indices are stable.
+    pub fn nodes(&self) -> &[CcgNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CcgEdge] {
+        &self.edges
+    }
+
+    /// Indices of edges leaving `node`.
+    pub fn edges_from(&self, node: usize) -> &[usize] {
+        &self.out_edges[node]
+    }
+
+    /// Node index of `node`, if present.
+    pub fn find(&self, node: CcgNode) -> Option<usize> {
+        self.index.get(&node).copied()
+    }
+
+    /// Renders the CCG as Graphviz DOT — the Fig. 9 picture for any SOC.
+    /// Interconnect edges are thin, transparency edges carry their latency
+    /// as the label.
+    ///
+    /// # Examples
+    ///
+    /// See the `custom_core` example; the output starts with
+    /// `digraph ccg`.
+    pub fn to_dot(&self, soc: &Soc) -> String {
+        use std::fmt::Write as _;
+        let name = |n: &CcgNode| match n {
+            CcgNode::Pi(p) => format!("PI {}", soc.pin(*p).name()),
+            CcgNode::Po(p) => format!("PO {}", soc.pin(*p).name()),
+            CcgNode::CoreIn(c, p) => format!(
+                "{}.{}",
+                soc.core(*c).name(),
+                soc.core(*c).core().port(*p).name()
+            ),
+            CcgNode::CoreOut(c, p) => format!(
+                "{}.{}",
+                soc.core(*c).name(),
+                soc.core(*c).core().port(*p).name()
+            ),
+        };
+        let mut out = String::from("digraph ccg {\n  rankdir=LR;\n");
+        for n in &self.nodes {
+            let shape = match n {
+                CcgNode::Pi(_) => "invtriangle",
+                CcgNode::Po(_) => "triangle",
+                _ => "ellipse",
+            };
+            let _ = writeln!(out, "  \"{}\" [shape={shape}];", name(n));
+        }
+        for e in &self.edges {
+            match e.kind {
+                CcgEdgeKind::Interconnect { .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" -> \"{}\" [color=gray];",
+                        name(&self.nodes[e.from]),
+                        name(&self.nodes[e.to])
+                    );
+                }
+                CcgEdgeKind::Transparency { .. } => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\" -> \"{}\" [label=\"{}\", penwidth=2];",
+                        name(&self.nodes[e.from]),
+                        name(&self.nodes[e.to]),
+                        e.latency
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Indices of the PI nodes.
+    pub fn pi_nodes(&self) -> &[usize] {
+        &self.pis
+    }
+
+    /// Indices of the PO nodes.
+    pub fn po_nodes(&self) -> &[usize] {
+        &self.pos
+    }
+}
+
+impl fmt::Display for Ccg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ccg: {} nodes, {} edges", self.nodes.len(), self.edges.len())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -> {} ({} cycles)",
+                self.nodes[e.from], self.nodes[e.to], e.latency
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CoreTestData;
+    use socet_cells::DftCosts;
+    use socet_hscan::insert_hscan;
+    use socet_rtl::{CoreBuilder, SocBuilder};
+    use socet_transparency::synthesize_versions;
+    use std::sync::Arc;
+
+    fn buf_core(name: &str) -> Arc<socet_rtl::Core> {
+        let mut b = CoreBuilder::new(name);
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn data_for(core: &socet_rtl::Core) -> CoreTestData {
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(core, &costs);
+        let versions = synthesize_versions(core, &hscan, &costs);
+        CoreTestData {
+            versions,
+            hscan,
+            scan_vectors: 10,
+        }
+    }
+
+    #[test]
+    fn two_core_chain_builds_expected_graph() {
+        let core = buf_core("buf");
+        let i = core.find_port("i").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u0 = sb.instantiate("u0", core.clone()).unwrap();
+        let u1 = sb.instantiate("u1", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u0, i).unwrap();
+        sb.connect_cores(u0, o, u1, i).unwrap();
+        sb.connect_core_to_pin(u1, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![Some(data_for(&core)), Some(data_for(&core))];
+        let ccg = Ccg::build(&soc, &data, &[0, 0]);
+        // Nodes: 1 PI + 1 PO + 2 cores x 2 ports.
+        assert_eq!(ccg.nodes().len(), 6);
+        // Edges: 3 interconnect + 2 transparency (one per core, i->o).
+        let trans = ccg
+            .edges()
+            .iter()
+            .filter(|e| matches!(e.kind, CcgEdgeKind::Transparency { .. }))
+            .count();
+        assert_eq!(trans, 2);
+        let inter = ccg.edges().len() - trans;
+        assert_eq!(inter, 3);
+        // Every transparency edge reserves its source port.
+        for e in ccg.edges() {
+            if let CcgEdgeKind::Transparency { core, .. } = e.kind {
+                assert!(e
+                    .resources
+                    .iter()
+                    .any(|r| matches!(r, Resource::InputPort(c, _) if *c == core)));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cores_are_invisible() {
+        let core = buf_core("buf");
+        let i = core.find_port("i").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u0 = sb.instantiate("u0", core.clone()).unwrap();
+        let ram = sb.instantiate_memory("ram", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u0, i).unwrap();
+        sb.connect_core_to_pin(u0, o, po).unwrap();
+        sb.connect_cores(u0, o, ram, i).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![Some(data_for(&core)), None];
+        let ccg = Ccg::build(&soc, &data, &[0, 0]);
+        // RAM contributes no nodes: 1 PI + 1 PO + 2 core ports.
+        assert_eq!(ccg.nodes().len(), 4);
+        assert!(ccg
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n, CcgNode::CoreIn(c, _) | CcgNode::CoreOut(c, _) if c.index() == 1)));
+    }
+
+    #[test]
+    fn version_choice_changes_edge_latency() {
+        // A 2-deep pipeline core: v1 latency 2, v3 latency 1.
+        let mut b = CoreBuilder::new("pipe");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r1 = b.register("r1", 8).unwrap();
+        let r2 = b.register("r2", 8).unwrap();
+        b.connect_port_to_reg(i, r1).unwrap();
+        b.connect_reg_to_reg(r1, r2).unwrap();
+        b.connect_reg_to_port(r2, o).unwrap();
+        let core = Arc::new(b.build().unwrap());
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u0 = sb.instantiate("u0", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u0, i).unwrap();
+        sb.connect_core_to_pin(u0, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![Some(data_for(&core))];
+        let lat_of = |choice: usize| {
+            let ccg = Ccg::build(&soc, &data, &[choice]);
+            ccg.edges()
+                .iter()
+                .filter(|e| matches!(e.kind, CcgEdgeKind::Transparency { .. }))
+                .map(|e| e.latency)
+                .min()
+                .unwrap()
+        };
+        assert_eq!(lat_of(0), 2);
+        assert_eq!(lat_of(2), 1);
+    }
+}

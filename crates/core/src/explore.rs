@@ -1,0 +1,427 @@
+//! Design-space exploration: the iterative-improvement core-version
+//! selection of §5.2 and the exhaustive sweep behind Fig. 10.
+
+use crate::plan::{CoreTestData, DesignPoint};
+use crate::schedule::schedule;
+use socet_cells::{CellLibrary, DftCosts};
+use socet_rtl::{CoreInstanceId, Soc};
+use std::fmt;
+
+/// The user's optimization objective (paper §5, objectives (i) and (ii)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Objective (i): minimize global test application time subject to a
+    /// chip-level test-area budget in cells (`w1 = 1, w2 = 0`).
+    MinTatUnderArea {
+        /// Maximum allowed chip-level DFT overhead in cells.
+        max_overhead_cells: u64,
+    },
+    /// Objective (ii): minimize test-area overhead subject to a test
+    /// application time budget in cycles (`w1 = 0, w2 = 1`).
+    MinAreaUnderTat {
+        /// Maximum allowed global test application time in cycles.
+        max_tat_cycles: u64,
+    },
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinTatUnderArea { max_overhead_cells } => {
+                write!(f, "min TAT s.t. overhead <= {max_overhead_cells} cells")
+            }
+            Objective::MinAreaUnderTat { max_tat_cycles } => {
+                write!(f, "min overhead s.t. TAT <= {max_tat_cycles} cycles")
+            }
+        }
+    }
+}
+
+/// Design-space explorer over one SOC and its cores' version ladders.
+///
+/// # Examples
+///
+/// See the crate-level documentation of [`socet-core`](crate) and the
+/// `design_space_exploration` example.
+#[derive(Debug)]
+pub struct Explorer<'a> {
+    soc: &'a Soc,
+    data: &'a [Option<CoreTestData>],
+    costs: DftCosts,
+    lib: CellLibrary,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer.
+    pub fn new(soc: &'a Soc, data: &'a [Option<CoreTestData>], costs: DftCosts) -> Self {
+        Explorer {
+            soc,
+            data,
+            costs,
+            lib: CellLibrary::generic_08um(),
+        }
+    }
+
+    /// Uses a custom cell library for area accounting.
+    pub fn with_library(mut self, lib: CellLibrary) -> Self {
+        self.lib = lib;
+        self
+    }
+
+    /// Routes and schedules one version choice.
+    pub fn evaluate(&self, choice: &[usize]) -> DesignPoint {
+        schedule(self.soc, self.data, choice, &self.costs)
+    }
+
+    /// The minimum-area starting choice: version 1 everywhere.
+    pub fn min_area_choice(&self) -> Vec<usize> {
+        vec![0; self.soc.cores().len()]
+    }
+
+    /// The minimum-latency choice: the last version everywhere.
+    pub fn min_latency_choice(&self) -> Vec<usize> {
+        self.soc
+            .cores()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                self.data[i]
+                    .as_ref()
+                    .map(|d| d.versions.len() - 1)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Exhaustively evaluates every version combination — the paper's
+    /// Fig. 10 plots these points for System 1.
+    ///
+    /// Points are returned in lexicographic choice order.
+    pub fn sweep(&self) -> Vec<DesignPoint> {
+        let logic = self.soc.logic_cores();
+        let radios: Vec<usize> = logic
+            .iter()
+            .map(|c| self.data[c.index()].as_ref().map(|d| d.versions.len()).unwrap_or(1))
+            .collect();
+        let total: usize = radios.iter().product();
+        let mut points = Vec::with_capacity(total);
+        for mut k in 0..total {
+            let mut choice = vec![0usize; self.soc.cores().len()];
+            for (ci, c) in logic.iter().enumerate() {
+                choice[c.index()] = k % radios[ci];
+                k /= radios[ci];
+            }
+            points.push(self.evaluate(&choice));
+        }
+        points
+    }
+
+    /// §5.2 latency number of `core` under `version_idx`, given the pair
+    /// usage of the current solution: `Σ usage(i,o) × latency(i,o)`.
+    fn latency_number(&self, dp: &DesignPoint, core: CoreInstanceId, version_idx: usize) -> u64 {
+        let td = self.data[core.index()].as_ref().expect("logic core data");
+        let version = &td.versions[version_idx];
+        dp.pair_usage
+            .iter()
+            .filter(|((c, _, _), _)| *c == core)
+            .map(|((_, i, o), count)| {
+                let lat = version
+                    .pair_latency(*i, *o)
+                    .unwrap_or_else(|| td.versions[dp.choice[core.index()]].pair_latency(*i, *o).unwrap_or(0));
+                u64::from(*count) * u64::from(lat)
+            })
+            .sum()
+    }
+
+    /// The iterative-improvement loop of §5.2.
+    ///
+    /// Starting from the minimum-area configuration, repeatedly replace one
+    /// core with its next-more-expensive version, scoring candidates with
+    /// `C = w1·ΔTAT + w2·ΔA`:
+    ///
+    /// * objective (i): pick the candidate with the largest ΔTAT that still
+    ///   fits the area budget; stop when none fits;
+    /// * objective (ii): pick the cheapest ΔA with non-zero ΔTAT; stop as
+    ///   soon as the TAT budget is met (or no candidate helps).
+    pub fn optimize(&self, objective: Objective) -> DesignPoint {
+        let mut choice = self.min_area_choice();
+        let mut current = self.evaluate(&choice);
+        // Version indices only ever increase, so the loop is bounded by the
+        // total ladder height.
+        loop {
+            if let Objective::MinAreaUnderTat { max_tat_cycles } = objective {
+                if current.test_application_time() <= max_tat_cycles {
+                    return current;
+                }
+            }
+            let mut candidates = self.candidates(&current, &choice);
+            match objective {
+                // w1 = 1, w2 = 0: biggest predicted ΔTAT first.
+                Objective::MinTatUnderArea { .. } => {
+                    candidates.sort_by_key(|c| (-c.dtat, c.da));
+                }
+                // w1 = 0, w2 = 1: cheapest ΔA with non-zero ΔTAT first,
+                // zero-ΔTAT stepping stones last.
+                Objective::MinAreaUnderTat { .. } => {
+                    candidates.sort_by_key(|c| (c.dtat == 0, c.da));
+                }
+            }
+            let budget = match objective {
+                Objective::MinTatUnderArea { max_overhead_cells } => max_overhead_cells,
+                Objective::MinAreaUnderTat { .. } => u64::MAX,
+            };
+            // Improving move first; failing that, a lateral (equal-TAT)
+            // move unlocks deeper versions of the same ladder.
+            let mut accepted = None;
+            for strict in [true, false] {
+                for cand in &candidates {
+                    let mut next_choice = choice.clone();
+                    next_choice[cand.core.index()] += 1;
+                    let next = self.evaluate(&next_choice);
+                    if next.overhead_cells(&self.lib) > budget {
+                        continue;
+                    }
+                    let tat = next.test_application_time();
+                    let ok = if strict {
+                        tat < current.test_application_time()
+                    } else {
+                        tat <= current.test_application_time()
+                            && next_choice[cand.core.index()]
+                                < self.ladder_len(cand.core)
+                    };
+                    if ok {
+                        accepted = Some((next_choice, next));
+                        break;
+                    }
+                }
+                if accepted.is_some() {
+                    break;
+                }
+            }
+            match accepted {
+                Some((nc, np)) => {
+                    choice = nc;
+                    current = np;
+                }
+                None => return current,
+            }
+        }
+    }
+
+    fn ladder_len(&self, core: CoreInstanceId) -> usize {
+        self.data[core.index()]
+            .as_ref()
+            .map(|d| d.versions.len())
+            .unwrap_or(1)
+    }
+
+    /// All single-step replacement moves with their predicted `ΔTAT`
+    /// (latency-number drop, §5.2) and `ΔA`.
+    fn candidates(&self, current: &DesignPoint, choice: &[usize]) -> Vec<Candidate> {
+        let mut v = Vec::new();
+        for core in self.soc.logic_cores() {
+            let Some(td) = self.data[core.index()].as_ref() else {
+                continue;
+            };
+            let cur_v = choice[core.index()];
+            if cur_v + 1 >= td.versions.len() {
+                continue;
+            }
+            let dtat = self.latency_number(current, core, cur_v) as i64
+                - self.latency_number(current, core, cur_v + 1) as i64;
+            let da = td.versions[cur_v + 1].overhead_cells(&self.lib) as i64
+                - td.versions[cur_v].overhead_cells(&self.lib) as i64;
+            v.push(Candidate { core, dtat, da });
+        }
+        v
+    }
+}
+
+/// A single-step replacement move considered by the §5.2 loop.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    core: CoreInstanceId,
+    dtat: i64,
+    da: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_hscan::insert_hscan;
+    use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+    use socet_transparency::synthesize_versions;
+    use std::sync::Arc;
+
+    fn data_for(core: &socet_rtl::Core, vectors: usize) -> CoreTestData {
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(core, &costs);
+        let versions = synthesize_versions(core, &hscan, &costs);
+        CoreTestData {
+            versions,
+            hscan,
+            scan_vectors: vectors,
+        }
+    }
+
+    fn pipeline_core(name: &str, depth: usize) -> Arc<socet_rtl::Core> {
+        let mut b = CoreBuilder::new(name);
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let regs: Vec<_> = (0..depth)
+            .map(|k| b.register(&format!("r{k}"), 8).unwrap())
+            .collect();
+        b.connect_port_to_reg(i, regs[0]).unwrap();
+        for w in regs.windows(2) {
+            b.connect_reg_to_reg(w[0], w[1]).unwrap();
+        }
+        b.connect_reg_to_port(regs[depth - 1], o).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn three_core_soc() -> (Soc, Vec<Option<CoreTestData>>) {
+        let a = pipeline_core("a", 4);
+        let b = pipeline_core("b", 3);
+        let c = pipeline_core("c", 2);
+        let (ai, ao) = (a.find_port("i").unwrap(), a.find_port("o").unwrap());
+        let (bi, bo) = (b.find_port("i").unwrap(), b.find_port("o").unwrap());
+        let (ci, co) = (c.find_port("i").unwrap(), c.find_port("o").unwrap());
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let ua = sb.instantiate("ua", a.clone()).unwrap();
+        let ub = sb.instantiate("ub", b.clone()).unwrap();
+        let uc = sb.instantiate("uc", c.clone()).unwrap();
+        sb.connect_pin_to_core(pi, ua, ai).unwrap();
+        sb.connect_cores(ua, ao, ub, bi).unwrap();
+        sb.connect_cores(ub, bo, uc, ci).unwrap();
+        sb.connect_core_to_pin(uc, co, po).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![
+            Some(data_for(&a, 20)),
+            Some(data_for(&b, 15)),
+            Some(data_for(&c, 10)),
+        ];
+        (soc, data)
+    }
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let points = ex.sweep();
+        assert_eq!(points.len(), 27);
+        // Area and TAT are anticorrelated at the extremes.
+        let lib = CellLibrary::generic_08um();
+        let min_area = points
+            .iter()
+            .min_by_key(|p| p.overhead_cells(&lib))
+            .unwrap();
+        let min_tat = points
+            .iter()
+            .min_by_key(|p| p.test_application_time())
+            .unwrap();
+        assert!(min_area.test_application_time() >= min_tat.test_application_time());
+        assert!(min_area.overhead_cells(&lib) <= min_tat.overhead_cells(&lib));
+    }
+
+    #[test]
+    fn objective_one_respects_area_budget() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        let baseline = ex.evaluate(&ex.min_area_choice());
+        let budget = baseline.overhead_cells(&lib) + 40;
+        let dp = ex.optimize(Objective::MinTatUnderArea {
+            max_overhead_cells: budget,
+        });
+        assert!(dp.overhead_cells(&lib) <= budget);
+        assert!(dp.test_application_time() <= baseline.test_application_time());
+    }
+
+    #[test]
+    fn objective_one_with_huge_budget_approaches_min_tat() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let dp = ex.optimize(Objective::MinTatUnderArea {
+            max_overhead_cells: u64::MAX,
+        });
+        let sweep_best = ex
+            .sweep()
+            .into_iter()
+            .map(|p| p.test_application_time())
+            .min()
+            .unwrap();
+        assert_eq!(dp.test_application_time(), sweep_best);
+    }
+
+    #[test]
+    fn objective_two_stops_at_budget() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        let min_area = ex.evaluate(&ex.min_area_choice());
+        let min_tat = ex.optimize(Objective::MinTatUnderArea {
+            max_overhead_cells: u64::MAX,
+        });
+        // A budget halfway between the extremes.
+        let target = (min_area.test_application_time() + min_tat.test_application_time()) / 2;
+        let dp = ex.optimize(Objective::MinAreaUnderTat {
+            max_tat_cycles: target,
+        });
+        assert!(dp.test_application_time() <= target);
+        // It should be cheaper than the all-out min-TAT point.
+        assert!(dp.overhead_cells(&lib) <= min_tat.overhead_cells(&lib));
+    }
+
+    #[test]
+    fn min_latency_choice_indexes_last_versions() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        assert_eq!(ex.min_latency_choice(), vec![2, 2, 2]);
+        assert_eq!(ex.min_area_choice(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn evaluate_is_pure() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let a = ex.evaluate(&[0, 1, 2, 0, 0][..soc.cores().len()]);
+        let b = ex.evaluate(&[0, 1, 2, 0, 0][..soc.cores().len()]);
+        assert_eq!(a.test_application_time(), b.test_application_time());
+        assert_eq!(a.chip_overhead, b.chip_overhead);
+    }
+
+    #[test]
+    fn unreachable_tat_budget_returns_best_effort() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let dp = ex.optimize(Objective::MinAreaUnderTat { max_tat_cycles: 1 });
+        // 1 cycle is impossible; the loop must still terminate with the
+        // best TAT it can find.
+        let best = ex
+            .sweep()
+            .into_iter()
+            .map(|p| p.test_application_time())
+            .min()
+            .unwrap();
+        assert_eq!(dp.test_application_time(), best);
+    }
+
+    #[test]
+    fn zero_area_budget_stays_at_minimum() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        let baseline = ex.evaluate(&ex.min_area_choice());
+        let dp = ex.optimize(Objective::MinTatUnderArea { max_overhead_cells: 0 });
+        // Nothing fits a zero budget beyond the baseline itself.
+        assert_eq!(dp.overhead_cells(&lib), baseline.overhead_cells(&lib));
+    }
+
+    #[test]
+    fn objective_display() {
+        let o = Objective::MinTatUnderArea { max_overhead_cells: 100 };
+        assert!(o.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Parallel test scheduling — an extension beyond the paper.
+//!
+//! The paper tests cores strictly one after another (global TAT is the sum
+//! of the episodes). But two episodes whose *resources* are disjoint —
+//! neither tests or routes through a core the other needs, and they touch
+//! different chip pins — can run concurrently under independent core
+//! clocks. [`parallelize`] packs a routed [`DesignPoint`]'s episodes with
+//! greedy longest-first list scheduling and reports the resulting makespan;
+//! the `ablation_parallel` bench quantifies the gain.
+
+use crate::plan::{CoreEpisode, DesignPoint};
+use socet_rtl::{ChipPinId, CoreInstanceId, Soc};
+use std::fmt;
+
+/// One resource an episode occupies for its whole duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum EpisodeResource {
+    /// A core: under test or carrying transparency traffic.
+    Core(CoreInstanceId),
+    /// A chip pin driven or observed.
+    Pin(ChipPinId),
+}
+
+fn resources_of(ep: &CoreEpisode) -> Vec<EpisodeResource> {
+    let mut v = vec![EpisodeResource::Core(ep.core)];
+    for c in &ep.transit_cores {
+        v.push(EpisodeResource::Core(*c));
+    }
+    for p in &ep.pins {
+        v.push(EpisodeResource::Pin(*p));
+    }
+    v
+}
+
+/// A concurrent packing of a design point's episodes.
+#[derive(Debug, Clone)]
+pub struct ParallelSchedule {
+    /// `(core, start cycle, end cycle)` per episode, in start order.
+    pub windows: Vec<(CoreInstanceId, u64, u64)>,
+    /// Total cycles until the last episode finishes.
+    pub makespan: u64,
+    /// The serial TAT the paper would report, for comparison.
+    pub serial_tat: u64,
+}
+
+impl ParallelSchedule {
+    /// Speedup of the parallel packing over the paper's serial order.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            1.0
+        } else {
+            self.serial_tat as f64 / self.makespan as f64
+        }
+    }
+}
+
+impl fmt::Display for ParallelSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parallel schedule: {} episodes, makespan {} (serial {}, x{:.2})",
+            self.windows.len(),
+            self.makespan,
+            self.serial_tat,
+            self.speedup()
+        )
+    }
+}
+
+/// Packs `plan`'s episodes concurrently wherever their resource sets are
+/// disjoint.
+///
+/// Greedy longest-processing-time list scheduling: episodes are sorted by
+/// duration (longest first) and each is placed at the earliest cycle where
+/// no already-placed, time-overlapping episode shares a resource with it.
+/// The result never exceeds the serial TAT and equals it exactly when every
+/// pair of episodes conflicts (e.g. a linear chain of cores, where each
+/// core's test routes through the others).
+///
+/// # Examples
+///
+/// See `examples/design_space_exploration.rs` and the
+/// `schedule/parallel_vs_serial` bench.
+pub fn parallelize(soc: &Soc, plan: &DesignPoint) -> ParallelSchedule {
+    let _ = soc; // reserved for future pin-capacity modelling
+    let mut order: Vec<&CoreEpisode> = plan.episodes.iter().collect();
+    order.sort_by_key(|e| std::cmp::Reverse(e.test_time()));
+
+    let mut placed: Vec<(u64, u64, Vec<EpisodeResource>, CoreInstanceId)> = Vec::new();
+    for ep in order {
+        let res = resources_of(ep);
+        let dur = ep.test_time();
+        // Candidate start times: 0 and the end of every placed episode.
+        let mut candidates: Vec<u64> = std::iter::once(0)
+            .chain(placed.iter().map(|(_, end, _, _)| *end))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let start = candidates
+            .into_iter()
+            .find(|&s| {
+                placed.iter().all(|(ps, pe, pres, _)| {
+                    let overlaps = s < *pe && *ps < s + dur;
+                    !overlaps || !pres.iter().any(|r| res.contains(r))
+                })
+            })
+            .expect("time 0 after every placed episode always exists");
+        placed.push((start, start + dur, res, ep.core));
+    }
+    placed.sort_by_key(|(s, ..)| *s);
+    let makespan = placed.iter().map(|(_, e, _, _)| *e).max().unwrap_or(0);
+    ParallelSchedule {
+        windows: placed
+            .iter()
+            .map(|(s, e, _, core)| (*core, *s, *e))
+            .collect(),
+        makespan,
+        serial_tat: plan.test_application_time(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CoreTestData;
+    use crate::schedule::schedule;
+    use socet_cells::DftCosts;
+    use socet_hscan::insert_hscan;
+    use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+    use socet_transparency::synthesize_versions;
+    use std::sync::Arc;
+
+    fn buf_core() -> Arc<socet_rtl::Core> {
+        let mut b = CoreBuilder::new("buf");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn data_for(core: &socet_rtl::Core, vectors: usize) -> CoreTestData {
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(core, &costs);
+        CoreTestData {
+            versions: synthesize_versions(core, &hscan, &costs),
+            hscan,
+            scan_vectors: vectors,
+        }
+    }
+
+    #[test]
+    fn independent_cores_run_concurrently() {
+        // Two cores, each with its own pins: fully parallel.
+        let core = buf_core();
+        let i = core.find_port("i").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi0 = sb.input_pin("pi0", 8).unwrap();
+        let pi1 = sb.input_pin("pi1", 8).unwrap();
+        let po0 = sb.output_pin("po0", 8).unwrap();
+        let po1 = sb.output_pin("po1", 8).unwrap();
+        let u0 = sb.instantiate("u0", core.clone()).unwrap();
+        let u1 = sb.instantiate("u1", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi0, u0, i).unwrap();
+        sb.connect_pin_to_core(pi1, u1, i).unwrap();
+        sb.connect_core_to_pin(u0, o, po0).unwrap();
+        sb.connect_core_to_pin(u1, o, po1).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![Some(data_for(&core, 10)), Some(data_for(&core, 10))];
+        let plan = schedule(&soc, &data, &[0, 0], &DftCosts::default());
+        let par = parallelize(&soc, &plan);
+        assert!(
+            par.makespan < par.serial_tat,
+            "independent episodes should overlap: {par}"
+        );
+        assert!((par.speedup() - 2.0).abs() < 0.2, "{par}");
+    }
+
+    #[test]
+    fn chained_cores_stay_serial() {
+        // u0 feeds u1: testing either uses the other -> full conflict.
+        let core = buf_core();
+        let i = core.find_port("i").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u0 = sb.instantiate("u0", core.clone()).unwrap();
+        let u1 = sb.instantiate("u1", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u0, i).unwrap();
+        sb.connect_cores(u0, o, u1, i).unwrap();
+        sb.connect_core_to_pin(u1, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let data = vec![Some(data_for(&core, 10)), Some(data_for(&core, 10))];
+        let plan = schedule(&soc, &data, &[0, 0], &DftCosts::default());
+        let par = parallelize(&soc, &plan);
+        assert_eq!(par.makespan, par.serial_tat, "{par}");
+    }
+
+    #[test]
+    fn makespan_never_exceeds_serial() {
+        let soc = socet_socs::barcode_system();
+        let costs = DftCosts::default();
+        let data: Vec<Option<CoreTestData>> = soc
+            .cores()
+            .iter()
+            .map(|inst| {
+                if inst.is_memory() {
+                    None
+                } else {
+                    Some(data_for(inst.core(), 20))
+                }
+            })
+            .collect();
+        let plan = schedule(&soc, &data, &vec![0; soc.cores().len()], &costs);
+        let par = parallelize(&soc, &plan);
+        assert!(par.makespan <= par.serial_tat);
+        // Windows don't overlap when they share resources.
+        for (k, (c1, s1, e1)) in par.windows.iter().enumerate() {
+            for (c2, s2, e2) in par.windows.iter().skip(k + 1) {
+                if c1 == c2 {
+                    continue;
+                }
+                let overlap = s1 < e2 && s2 < e1;
+                if overlap {
+                    let ep1 = plan.episodes.iter().find(|e| e.core == *c1).unwrap();
+                    let ep2 = plan.episodes.iter().find(|e| e.core == *c2).unwrap();
+                    let r1 = resources_of(ep1);
+                    let r2 = resources_of(ep2);
+                    assert!(!r1.iter().any(|r| r2.contains(r)), "conflicting overlap");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Data types of the chip-level test plan: per-core test data, design
+//! points, episodes and system-level test muxes.
+
+use socet_cells::{AreaReport, CellLibrary};
+use socet_hscan::HscanResult;
+use socet_rtl::{CoreInstanceId, PortId};
+use socet_transparency::CoreVersion;
+use std::fmt;
+
+/// Everything the chip-level planner needs to know about one core, produced
+/// by the core provider (hard/firm cores) or the user (soft cores) — the
+/// "one-time cost" of §1 of the paper.
+#[derive(Debug, Clone)]
+pub struct CoreTestData {
+    /// The version ladder (minimum area first).
+    pub versions: Vec<CoreVersion>,
+    /// The HSCAN result: chains, depth, core-level overhead.
+    pub hscan: HscanResult,
+    /// Precomputed full-scan (combinational) vector count for the core.
+    pub scan_vectors: usize,
+}
+
+impl CoreTestData {
+    /// HSCAN test length for this core: each combinational vector costs
+    /// `depth` shift cycles plus one apply cycle.
+    pub fn hscan_vectors(&self) -> usize {
+        self.hscan.test_length(self.scan_vectors)
+    }
+}
+
+/// A system-level test multiplexer connecting a core port directly to a
+/// chip pin, the fallback when no transparency route exists (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemMux {
+    /// The core whose port gets direct access.
+    pub core: CoreInstanceId,
+    /// The port connected to a chip pin.
+    pub port: PortId,
+    /// `true` when the mux *controls* an input from a PI, `false` when it
+    /// *observes* an output at a PO.
+    pub controls_input: bool,
+    /// The port's width in bits (the mux is that wide).
+    pub width: u16,
+}
+
+impl fmt::Display for SystemMux {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "system mux {} {}.{} ({} bits)",
+            if self.controls_input { "into" } else { "out of" },
+            self.core,
+            self.port,
+            self.width
+        )
+    }
+}
+
+/// The routed test episode of one core under test.
+#[derive(Debug, Clone)]
+pub struct CoreEpisode {
+    /// The core under test.
+    pub core: CoreInstanceId,
+    /// Cycles to deliver one test vector to every core input (the paper's
+    /// "nine cycles" for the DISPLAY), never below one scan-shift cycle.
+    pub per_vector_cycles: u32,
+    /// Cycles to flush the last response: remaining scan-out plus the
+    /// observation latency of the slowest output route.
+    pub tail_cycles: u32,
+    /// HSCAN vectors applied.
+    pub hscan_vectors: u64,
+    /// Arrival time of each core input's test data, in cycles from the
+    /// start of a vector slot.
+    pub input_arrivals: Vec<(PortId, u32)>,
+    /// Observation latency of each core output.
+    pub output_arrivals: Vec<(PortId, u32)>,
+    /// Cores whose transparency this episode routes through.
+    pub transit_cores: Vec<CoreInstanceId>,
+    /// Chip pins this episode drives or observes.
+    pub pins: Vec<socet_rtl::ChipPinId>,
+}
+
+impl CoreEpisode {
+    /// Test application time of this episode:
+    /// `hscan_vectors × per_vector + tail`.
+    pub fn test_time(&self) -> u64 {
+        self.hscan_vectors * u64::from(self.per_vector_cycles) + u64::from(self.tail_cycles)
+    }
+}
+
+impl fmt::Display for CoreEpisode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core {}: {} vectors x {} cycles + {} = {}",
+            self.core,
+            self.hscan_vectors,
+            self.per_vector_cycles,
+            self.tail_cycles,
+            self.test_time()
+        )
+    }
+}
+
+/// One evaluated point of the design space: a version choice, its routed
+/// schedule, and the resulting cost pair.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Chosen version index per core instance (entries for memory cores are
+    /// 0 and unused).
+    pub choice: Vec<usize>,
+    /// Chip-level DFT overhead: transparency logic + system-level test
+    /// muxes + test controller + clock gating.
+    pub chip_overhead: AreaReport,
+    /// The routed episode of every logic core, in test order.
+    pub episodes: Vec<CoreEpisode>,
+    /// System-level test muxes the routing had to add.
+    pub system_muxes: Vec<SystemMux>,
+    /// How often each transparency pair `(through-core, input, output)` was
+    /// used across the whole solution — the raw counts of the paper's §5.2
+    /// "latency number" (usage × latency, summed per core).
+    pub pair_usage: Vec<((CoreInstanceId, PortId, PortId), u32)>,
+    /// Indices of SOC nets that carry test data somewhere in the plan —
+    /// the interconnect the test exercises (§1 notes the test bus cannot
+    /// test inter-core wiring; SOCET covers it as a side effect).
+    pub tested_nets: Vec<usize>,
+}
+
+impl DesignPoint {
+    /// Global test application time: cores are tested one after another.
+    pub fn test_application_time(&self) -> u64 {
+        self.episodes.iter().map(CoreEpisode::test_time).sum()
+    }
+
+    /// Chip-level overhead in cells.
+    pub fn overhead_cells(&self, lib: &CellLibrary) -> u64 {
+        self.chip_overhead.cells(lib)
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design point {:?}: TAT {} cycles, {} muxes",
+            self.choice,
+            self.test_application_time(),
+            self.system_muxes.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_test_time_formula() {
+        let ep = CoreEpisode {
+            core: dummy_core(),
+            per_vector_cycles: 9,
+            tail_cycles: 3,
+            hscan_vectors: 525,
+            input_arrivals: vec![],
+            output_arrivals: vec![],
+            transit_cores: vec![],
+            pins: vec![],
+        };
+        // The paper's DISPLAY worked example: 525 x 9 + 3 = 4 728.
+        assert_eq!(ep.test_time(), 4_728);
+    }
+
+    #[test]
+    fn design_point_sums_episodes() {
+        let mk = |t: u64| CoreEpisode {
+            core: dummy_core(),
+            per_vector_cycles: 1,
+            tail_cycles: 0,
+            hscan_vectors: t,
+            input_arrivals: vec![],
+            output_arrivals: vec![],
+            transit_cores: vec![],
+            pins: vec![],
+        };
+        let dp = DesignPoint {
+            choice: vec![0, 0],
+            chip_overhead: AreaReport::new(),
+            episodes: vec![mk(100), mk(200)],
+            system_muxes: vec![],
+            pair_usage: vec![],
+            tested_nets: vec![],
+        };
+        assert_eq!(dp.test_application_time(), 300);
+    }
+
+    fn dummy_core() -> CoreInstanceId {
+        // Handles are dense indices; recover one through a real SOC.
+        use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+        use std::sync::Arc;
+        let mut b = CoreBuilder::new("c");
+        let i = b.port("i", Direction::In, 1).unwrap();
+        let o = b.port("o", Direction::Out, 1).unwrap();
+        let r = b.register("r", 1).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        let core = Arc::new(b.build().unwrap());
+        let mut sb = SocBuilder::new("s");
+        let pi = sb.input_pin("pi", 1).unwrap();
+        let po = sb.output_pin("po", 1).unwrap();
+        let u = sb.instantiate("u", core).unwrap();
+        sb.connect_pin_to_core(pi, u, i).unwrap();
+        sb.connect_core_to_pin(u, o, po).unwrap();
+        sb.build().unwrap();
+        u
+    }
+}

@@ -1,0 +1,547 @@
+//! Greedy HSCAN chain construction and cost accounting.
+
+use socet_cells::{AreaReport, CellKind, DftCosts};
+use socet_rtl::{ConnectionId, Core, Direction, PortId, RegisterId, RtlNode, Via};
+use std::collections::HashSet;
+use std::fmt;
+
+/// How one hop of a scan chain is realized, deciding its HSCAN cost
+/// (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainVia {
+    /// Reuses the select-1 leg of an existing multiplexer path: two extra
+    /// gates (Fig. 1(a)).
+    ExistingMux {
+        /// The reused connection.
+        connection: ConnectionId,
+        /// The mux leg the connection occupies.
+        leg: u8,
+    },
+    /// Reuses an existing direct connection: one OR gate at the destination
+    /// register's load signal.
+    ExistingDirect {
+        /// The reused connection.
+        connection: ConnectionId,
+    },
+    /// No existing path: a test multiplexer integrated into the destination
+    /// register's flip-flops (scan flip-flops).
+    TestMux,
+}
+
+impl ChainVia {
+    /// The existing connection reused by this hop, if any.
+    pub fn connection(&self) -> Option<ConnectionId> {
+        match self {
+            ChainVia::ExistingMux { connection, .. } => Some(*connection),
+            ChainVia::ExistingDirect { connection } => Some(*connection),
+            ChainVia::TestMux => None,
+        }
+    }
+}
+
+/// One link of a scan chain: how test data enters `reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The register this link loads.
+    pub reg: RegisterId,
+    /// How the scan data reaches it.
+    pub via: ChainVia,
+}
+
+/// An ordered scan chain from a core input (or a fork off another chain)
+/// to a core output.
+///
+/// HSCAN chains may *branch*: when a register already on a chain has an
+/// existing path to an unchained register, a new chain can fork there
+/// (Fig. 4(a) of the paper, where `IR` feeds both the accumulator chain and
+/// the `MAR page` chain). A forked chain scans in through its parent's
+/// prefix, so its registers sit deeper than the fork point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    /// The input port feeding the chain head (through the parent prefix
+    /// when forked).
+    pub scan_in: PortId,
+    /// For a forked chain, the already-chained register whose existing path
+    /// feeds this chain's head.
+    pub fork_parent: Option<RegisterId>,
+    /// How the head register is fed.
+    pub head_via: ChainVia,
+    /// The registers of the chain, head first.
+    pub links: Vec<ChainLink>,
+    /// The output port observing the chain tail.
+    pub scan_out: PortId,
+    /// How the tail register reaches `scan_out`.
+    pub tail_via: ChainVia,
+}
+
+impl ScanChain {
+    /// Chain length in registers, not counting any parent prefix.
+    pub fn depth(&self) -> usize {
+        self.links.len()
+    }
+}
+
+impl fmt::Display for ScanChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->", self.scan_in)?;
+        for link in &self.links {
+            write!(f, " {} ->", link.reg)?;
+        }
+        write!(f, " {}", self.scan_out)
+    }
+}
+
+/// The result of HSCAN insertion on one core.
+#[derive(Debug, Clone)]
+pub struct HscanResult {
+    chains: Vec<ScanChain>,
+    area: AreaReport,
+    scan_connections: HashSet<ConnectionId>,
+    max_depth: usize,
+}
+
+impl HscanResult {
+    /// The scan chains, in construction order.
+    pub fn chains(&self) -> &[ScanChain] {
+        &self.chains
+    }
+
+    /// The HSCAN area overhead (configuration gates and scan muxes only).
+    pub fn area(&self) -> &AreaReport {
+        &self.area
+    }
+
+    /// Overhead in cells under `lib`.
+    pub fn overhead_cells(&self, lib: &socet_cells::CellLibrary) -> u64 {
+        self.area.cells(lib)
+    }
+
+    /// Sequential depth: the longest root-to-leaf register path over all
+    /// chains (fork prefixes included). Shifting one test vector in (or a
+    /// response out) takes this many cycles.
+    pub fn sequential_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Existing connections claimed as scan paths. The transparency engine
+    /// prefers exactly these edges ("at first, we only use the HSCAN edges
+    /// during this search", §4).
+    pub fn scan_connections(&self) -> &HashSet<ConnectionId> {
+        &self.scan_connections
+    }
+
+    /// HSCAN test length in vectors-on-the-chip for `vectors` combinational
+    /// patterns: each pattern costs `depth` shift cycles plus one apply
+    /// cycle, and shift-out overlaps the next shift-in.
+    ///
+    /// Matches the paper's example: 105 full-scan vectors at depth 4 →
+    /// 525 HSCAN vectors.
+    pub fn test_length(&self, vectors: usize) -> usize {
+        vectors * (self.sequential_depth() + 1)
+    }
+}
+
+impl fmt::Display for HscanResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hscan: {} chains, depth {}, overhead {}",
+            self.chains.len(),
+            self.sequential_depth(),
+            self.area
+        )
+    }
+}
+
+/// Builds HSCAN chains for `core`.
+///
+/// The construction is greedy, mirroring the flavour of the original HSCAN
+/// heuristic:
+///
+/// 1. start a chain at an unchained register directly loadable from an input
+///    port (reusing that connection), preferring registers that are *only*
+///    reachable from inputs (chain heads);
+/// 2. extend the chain through existing lossless register-to-register
+///    connections to unchained registers, preferring direct paths (1 OR
+///    gate) over mux paths (2 gates);
+/// 3. when stuck, terminate at an output port via an existing connection if
+///    one exists, else a test mux; remaining registers start new chains
+///    (fed by test muxes from the least-loaded input).
+///
+/// The paper's running example holds by construction: every register ends up
+/// in exactly one chain, so the core becomes a full-scan circuit testable
+/// with combinational ATPG.
+pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
+    let mut unchained: HashSet<RegisterId> = core.register_ids().collect();
+    let mut chains: Vec<ScanChain> = Vec::new();
+    let mut area = AreaReport::new();
+    let mut scan_connections = HashSet::new();
+    let inputs = core.input_ports();
+    let outputs = core.output_ports();
+    // Scan depth of each chained register (1 = loaded directly from an
+    // input) and the input its chain scans in from.
+    let mut reg_depth: std::collections::HashMap<RegisterId, usize> =
+        std::collections::HashMap::new();
+    let mut reg_scan_in: std::collections::HashMap<RegisterId, PortId> =
+        std::collections::HashMap::new();
+
+    let charge = |area: &mut AreaReport, via: &ChainVia, width: u16| match via {
+        ChainVia::ExistingMux { .. } => area.tally(CellKind::And2, costs.hscan_mux_reuse_gates),
+        ChainVia::ExistingDirect { .. } => {
+            area.tally(CellKind::Or2, costs.hscan_direct_or_gates)
+        }
+        ChainVia::TestMux => {
+            area.tally(CellKind::Mux2, costs.hscan_test_mux_per_bit * u64::from(width))
+        }
+    };
+
+    // Deterministic iteration: registers in declaration order.
+    while !unchained.is_empty() {
+        // 1. Chain head, in preference order:
+        //    (a) a register fed by an input port through an existing
+        //        lossless connection;
+        //    (b) a register fed by an already-chained register — a *fork*
+        //        off that chain (Fig. 4(a));
+        //    (c) any register, fed by a test mux from the first input.
+        let mut head: Option<(RegisterId, PortId, ChainVia, Option<RegisterId>, usize)> = None;
+        'outer: for reg in core.register_ids() {
+            if !unchained.contains(&reg) {
+                continue;
+            }
+            for (ci, c) in core.connections().iter().enumerate() {
+                if c.dst.node == RtlNode::Reg(reg) && c.via.is_lossless() {
+                    if let RtlNode::Port(p) = c.src.node {
+                        if core.port(p).direction() == Direction::In {
+                            let via = via_of(c.via, ci);
+                            head = Some((reg, p, via, None, 1));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if head.is_none() {
+            'fork: for reg in core.register_ids() {
+                if !unchained.contains(&reg) {
+                    continue;
+                }
+                for (ci, c) in core.connections().iter().enumerate() {
+                    if c.dst.node == RtlNode::Reg(reg) && c.via.is_lossless() {
+                        if let RtlNode::Reg(parent) = c.src.node {
+                            if let Some(&pd) = reg_depth.get(&parent) {
+                                let via = via_of(c.via, ci);
+                                let scan_in = reg_scan_in[&parent];
+                                head = Some((reg, scan_in, via, Some(parent), pd + 1));
+                                break 'fork;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let (head_reg, scan_in, head_via, fork_parent, head_depth) = match head {
+            Some(h) => h,
+            None => {
+                // Nothing reachable: feed the first unchained register by a
+                // test mux from the first input.
+                let reg = core
+                    .register_ids()
+                    .find(|r| unchained.contains(r))
+                    .expect("unchained is non-empty");
+                let p = *inputs.first().expect("core has at least one input");
+                (reg, p, ChainVia::TestMux, None, 1)
+            }
+        };
+        unchained.remove(&head_reg);
+        reg_depth.insert(head_reg, head_depth);
+        reg_scan_in.insert(head_reg, scan_in);
+        match (fork_parent, &head_via) {
+            (Some(parent), _) => claim_all(
+                &mut scan_connections,
+                core,
+                RtlNode::Reg(parent),
+                RtlNode::Reg(head_reg),
+            ),
+            (None, ChainVia::TestMux) => {}
+            (None, _) => {
+                // A head register loads its full width from its input-port
+                // slices; all of them are scan-in paths.
+                for (ci, c) in core.connections().iter().enumerate() {
+                    if c.dst.node == RtlNode::Reg(head_reg) && c.via.is_lossless() {
+                        if let RtlNode::Port(p) = c.src.node {
+                            if core.port(p).direction() == Direction::In {
+                                scan_connections.insert(ConnectionId::from_index(ci));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        charge(&mut area, &head_via, core.register(head_reg).width());
+        if let Some(ci) = head_via.connection() {
+            scan_connections.insert(ci);
+        }
+        let mut links = vec![ChainLink {
+            reg: head_reg,
+            via: head_via,
+        }];
+
+        // 2. Extend through existing paths.
+        let mut current = head_reg;
+        let mut depth = head_depth;
+        loop {
+            let mut next: Option<(RegisterId, ChainVia)> = None;
+            // Prefer direct connections (1 gate) over mux paths (2 gates).
+            for want_direct in [true, false] {
+                for (ci, c) in core.connections().iter().enumerate() {
+                    if c.src.node != RtlNode::Reg(current) || !c.via.is_lossless() {
+                        continue;
+                    }
+                    let RtlNode::Reg(dst) = c.dst.node else { continue };
+                    if !unchained.contains(&dst) {
+                        continue;
+                    }
+                    let is_direct = matches!(c.via, Via::Direct);
+                    if is_direct == want_direct {
+                        next = Some((dst, via_of(c.via, ci)));
+                        break;
+                    }
+                }
+                if next.is_some() {
+                    break;
+                }
+            }
+            match next {
+                Some((reg, via)) => {
+                    unchained.remove(&reg);
+                    depth += 1;
+                    reg_depth.insert(reg, depth);
+                    reg_scan_in.insert(reg, scan_in);
+                    charge(&mut area, &via, core.register(reg).width());
+                    claim_all(
+                        &mut scan_connections,
+                        core,
+                        RtlNode::Reg(current),
+                        RtlNode::Reg(reg),
+                    );
+                    if let Some(ci) = via.connection() {
+                        scan_connections.insert(ci);
+                    }
+                    links.push(ChainLink { reg, via });
+                    current = reg;
+                }
+                None => break,
+            }
+        }
+
+        // 3. Terminate at an output port.
+        let mut tail: Option<(PortId, ChainVia)> = None;
+        for (ci, c) in core.connections().iter().enumerate() {
+            if c.src.node != RtlNode::Reg(current) || !c.via.is_lossless() {
+                continue;
+            }
+            if let RtlNode::Port(p) = c.dst.node {
+                if core.port(p).direction() == Direction::Out {
+                    tail = Some((p, via_of(c.via, ci)));
+                    break;
+                }
+            }
+        }
+        let (scan_out, tail_via) = match tail {
+            Some(t) => t,
+            None => {
+                let p = *outputs.first().expect("core has at least one output");
+                (p, ChainVia::TestMux)
+            }
+        };
+        // Existing paths to outputs are free (the port already observes the
+        // register); only a test mux at the output costs cells.
+        if tail_via == ChainVia::TestMux {
+            charge(&mut area, &tail_via, core.port(scan_out).width());
+        } else if let Some(ci) = tail_via.connection() {
+            scan_connections.insert(ci);
+        }
+        chains.push(ScanChain {
+            scan_in,
+            fork_parent,
+            head_via,
+            links,
+            scan_out,
+            tail_via,
+        });
+    }
+
+    let max_depth = reg_depth.values().copied().max().unwrap_or(0);
+    HscanResult {
+        chains,
+        area,
+        scan_connections,
+        max_depth,
+    }
+}
+
+
+/// Claims every lossless connection `src -> dst`: a register is loaded
+/// through *all* its slice connections from the source, so the whole
+/// parallel path belongs to the scan structure.
+fn claim_all(
+    scan_connections: &mut HashSet<ConnectionId>,
+    core: &Core,
+    src: RtlNode,
+    dst: RtlNode,
+) {
+    for (ci, c) in core.connections().iter().enumerate() {
+        if c.src.node == src && c.dst.node == dst && c.via.is_lossless() {
+            scan_connections.insert(ConnectionId::from_index(ci));
+        }
+    }
+}
+
+fn via_of(via: Via, ci: usize) -> ChainVia {
+    let connection = connection_id(ci);
+    match via {
+        Via::MuxPath { leg } => ChainVia::ExistingMux { connection, leg },
+        _ => ChainVia::ExistingDirect { connection },
+    }
+}
+
+fn connection_id(i: usize) -> ConnectionId {
+    ConnectionId::from_index(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_cells::CellLibrary;
+    use socet_rtl::CoreBuilder;
+
+    fn pipeline(n: usize) -> Core {
+        let mut b = CoreBuilder::new("pipe");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let regs: Vec<RegisterId> = (0..n)
+            .map(|k| b.register(&format!("r{k}"), 8).unwrap())
+            .collect();
+        b.connect_port_to_reg(i, regs[0]).unwrap();
+        for w in regs.windows(2) {
+            b.connect_reg_to_reg(w[0], w[1]).unwrap();
+        }
+        b.connect_reg_to_port(regs[n - 1], o).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_forms_single_chain() {
+        let core = pipeline(4);
+        let h = insert_hscan(&core, &DftCosts::default());
+        assert_eq!(h.chains().len(), 1);
+        assert_eq!(h.sequential_depth(), 4);
+        // Head + 3 hops, all existing direct: 4 OR gates, no muxes.
+        let lib = CellLibrary::generic_08um();
+        assert_eq!(h.overhead_cells(&lib), 4);
+        assert_eq!(h.scan_connections().len(), 5); // 4 loads + tail observe
+    }
+
+    #[test]
+    fn isolated_register_gets_test_mux() {
+        let mut b = CoreBuilder::new("iso");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        let island = b.register("island", 8).unwrap();
+        let fu = b
+            .functional_unit("f", socet_rtl::FuKind::Logic, 8)
+            .unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        // island only talks to the FU: no lossless paths.
+        b.connect_reg_to_fu(island, fu).unwrap();
+        b.connect_fu_to_reg(fu, island).unwrap();
+        let core = b.build().unwrap();
+        let h = insert_hscan(&core, &DftCosts::default());
+        assert_eq!(h.chains().len(), 2);
+        let island_chain = h
+            .chains()
+            .iter()
+            .find(|c| c.links[0].reg == island)
+            .unwrap();
+        assert_eq!(island_chain.head_via, ChainVia::TestMux);
+        assert_eq!(island_chain.tail_via, ChainVia::TestMux);
+    }
+
+    #[test]
+    fn mux_paths_cost_two_gates() {
+        let mut b = CoreBuilder::new("m");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r1 = b.register("r1", 8).unwrap();
+        let r2 = b.register("r2", 8).unwrap();
+        b.connect_port_to_reg(i, r1).unwrap();
+        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 0).unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 1).unwrap();
+        b.connect_reg_to_port(r2, o).unwrap();
+        let core = b.build().unwrap();
+        let h = insert_hscan(&core, &DftCosts::default());
+        let lib = CellLibrary::generic_08um();
+        // head (direct, 1 OR) + hop r1->r2 (mux, 2 gates) = 3 cells.
+        assert_eq!(h.overhead_cells(&lib), 3);
+        assert_eq!(h.sequential_depth(), 2);
+    }
+
+    #[test]
+    fn every_register_lands_in_exactly_one_chain() {
+        let core = pipeline(7);
+        let h = insert_hscan(&core, &DftCosts::default());
+        let mut seen = HashSet::new();
+        for chain in h.chains() {
+            for link in &chain.links {
+                assert!(seen.insert(link.reg), "{} chained twice", link.reg);
+            }
+        }
+        assert_eq!(seen.len(), core.registers().len());
+    }
+
+    #[test]
+    fn forked_chains_record_their_parent_and_depth() {
+        // r_main is input-fed; r_side hangs off r_main only.
+        let mut b = CoreBuilder::new("fork");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let o2 = b.port("o2", Direction::Out, 8).unwrap();
+        let r_main = b.register("r_main", 8).unwrap();
+        let r_next = b.register("r_next", 8).unwrap();
+        let r_side = b.register("r_side", 8).unwrap();
+        b.connect_port_to_reg(i, r_main).unwrap();
+        b.connect_reg_to_reg(r_main, r_next).unwrap();
+        b.connect_mux(RtlNode::Reg(r_main), RtlNode::Reg(r_side), 0).unwrap();
+        b.connect_reg_to_port(r_next, o).unwrap();
+        b.connect_reg_to_port(r_side, o2).unwrap();
+        let core = b.build().unwrap();
+        let h = insert_hscan(&core, &DftCosts::default());
+        let fork = h
+            .chains()
+            .iter()
+            .find(|c| c.fork_parent.is_some())
+            .expect("side register forks off the main chain");
+        assert_eq!(fork.fork_parent, Some(r_main));
+        assert_eq!(fork.links[0].reg, r_side);
+        // Depth: r_main(1) -> r_side(2): overall depth stays 2.
+        assert_eq!(h.sequential_depth(), 2);
+    }
+
+    #[test]
+    fn test_length_matches_paper_formula() {
+        let core = pipeline(4);
+        let h = insert_hscan(&core, &DftCosts::default());
+        assert_eq!(h.test_length(105), 525);
+    }
+
+    #[test]
+    fn display_forms() {
+        let core = pipeline(2);
+        let h = insert_hscan(&core, &DftCosts::default());
+        let s = h.chains()[0].to_string();
+        assert!(s.contains("->"), "{s}");
+        assert!(h.to_string().contains("depth 2"));
+    }
+}

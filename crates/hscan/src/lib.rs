@@ -1,0 +1,70 @@
+//! HSCAN: high-level scan-chain construction over existing RTL paths.
+//!
+//! HSCAN (Bhattacharya & Dey, VTS'96) is the paper's core-level DFT
+//! technique: instead of replacing every flip-flop with a scan flip-flop, it
+//! connects registers into *parallel scan chains* by reusing the mux and
+//! direct paths that already exist between them (Fig. 1 of the paper),
+//! adding a test multiplexer only where no path exists. Because the result
+//! is a full-scan structure, combinational ATPG suffices — and because the
+//! chains are register-wide, a test vector is shifted in `depth` clock
+//! cycles rather than one cycle per flip-flop.
+//!
+//! [`insert_hscan`] builds the chains for a [`Core`](socet_rtl::Core) and reports:
+//!
+//! * the chain structure ([`ScanChain`], [`ChainLink`]) and which existing
+//!   connections were claimed for scan — the transparency engine reuses
+//!   exactly these as its preferred edges;
+//! * the *sequential depth* (longest chain, in registers), which converts a
+//!   combinational vector count into HSCAN test length:
+//!   `vectors × (depth + 1)` — the paper's 105 full-scan vectors at depth 4
+//!   become 525 HSCAN vectors;
+//! * the HSCAN area overhead as an [`AreaReport`](socet_cells::AreaReport).
+//!
+//! # Examples
+//!
+//! ```
+//! use socet_rtl::{CoreBuilder, Direction};
+//! use socet_hscan::insert_hscan;
+//! use socet_cells::DftCosts;
+//!
+//! let mut b = CoreBuilder::new("pipe");
+//! let i = b.port("i", Direction::In, 8)?;
+//! let o = b.port("o", Direction::Out, 8)?;
+//! let r1 = b.register("r1", 8)?;
+//! let r2 = b.register("r2", 8)?;
+//! b.connect_port_to_reg(i, r1)?;
+//! b.connect_reg_to_reg(r1, r2)?;
+//! b.connect_reg_to_port(r2, o)?;
+//! let core = b.build()?;
+//! let hscan = insert_hscan(&core, &DftCosts::default());
+//! assert_eq!(hscan.chains().len(), 1);
+//! assert_eq!(hscan.sequential_depth(), 2);
+//! assert_eq!(hscan.test_length(105), 105 * 3);
+//! # Ok::<(), socet_rtl::RtlError>(())
+//! ```
+
+pub mod chain;
+
+pub use chain::{insert_hscan, ChainLink, ChainVia, HscanResult, ScanChain};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_cells::DftCosts;
+    use socet_rtl::{CoreBuilder, Direction};
+
+    #[test]
+    fn crate_doc_example() {
+        let mut b = CoreBuilder::new("pipe");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r1 = b.register("r1", 8).unwrap();
+        let r2 = b.register("r2", 8).unwrap();
+        b.connect_port_to_reg(i, r1).unwrap();
+        b.connect_reg_to_reg(r1, r2).unwrap();
+        b.connect_reg_to_port(r2, o).unwrap();
+        let core = b.build().unwrap();
+        let hscan = insert_hscan(&core, &DftCosts::default());
+        assert_eq!(hscan.sequential_depth(), 2);
+    }
+}

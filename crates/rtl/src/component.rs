@@ -1,0 +1,221 @@
+//! Sequential and combinational components inside a core: registers and
+//! functional units.
+//!
+//! Multiplexers are not first-class components: a register or port sink with
+//! several incoming [`Connection`](crate::Connection)s implies a multiplexer
+//! tree at its input, and each connection records which mux leg (or direct
+//! wire, or bus) realizes it — exactly the structural facts HSCAN and the
+//! transparency engine need.
+
+use std::fmt;
+
+/// Opaque handle to a [`Register`] within one [`Core`](crate::Core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegisterId(pub(crate) u32);
+
+impl RegisterId {
+    /// The handle's index within the core's register table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register (bank of flip-flops) inside a core.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction};
+/// let mut b = CoreBuilder::new("c");
+/// let din = b.port("d", Direction::In, 16)?;
+/// let dout = b.port("q", Direction::Out, 16)?;
+/// let id = b.register("IR", 16)?;
+/// b.connect_port_to_reg(din, id)?;
+/// b.connect_reg_to_port(id, dout)?;
+/// let core = b.build()?;
+/// assert_eq!(core.register(id).name(), "IR");
+/// assert_eq!(core.register(id).width(), 16);
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    pub(crate) name: String,
+    pub(crate) width: u16,
+}
+
+impl Register {
+    /// The register's name, unique within its core.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The register's bit width (number of flip-flops).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+}
+
+impl fmt::Display for Register {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reg {} [{}:0]", self.name, self.width - 1)
+    }
+}
+
+/// Opaque handle to a [`FunctionalUnit`] within one [`Core`](crate::Core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionalUnitId(pub(crate) u32);
+
+impl FunctionalUnitId {
+    /// The handle's index within the core's functional-unit table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FunctionalUnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// The operation a functional unit performs.
+///
+/// The kind determines both the gate-level elaboration (`socet-gate`) and the
+/// area charged for the unit. Paths *through* a functional unit are lossy and
+/// never become transparency edges — only [`Via::Direct`](crate::Via),
+/// mux and bus connections do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Ripple-carry adder.
+    Add,
+    /// Ripple-borrow subtracter.
+    Sub,
+    /// Incrementer (e.g. a program counter's +1).
+    Inc,
+    /// Magnitude comparator.
+    Cmp,
+    /// Bitwise AND/OR/XOR unit.
+    Logic,
+    /// Barrel or serial shifter.
+    Shift,
+    /// General ALU (add/sub/logic under opcode control).
+    Alu,
+    /// Uninterpreted random logic block of a given complexity.
+    Random {
+        /// Approximate 2-input-gate count of the block.
+        gates: u32,
+    },
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuKind::Add => f.write_str("add"),
+            FuKind::Sub => f.write_str("sub"),
+            FuKind::Inc => f.write_str("inc"),
+            FuKind::Cmp => f.write_str("cmp"),
+            FuKind::Logic => f.write_str("logic"),
+            FuKind::Shift => f.write_str("shift"),
+            FuKind::Alu => f.write_str("alu"),
+            FuKind::Random { gates } => write!(f, "random({gates})"),
+        }
+    }
+}
+
+/// A combinational functional unit (ALU, adder, comparator, random logic).
+///
+/// Functional units matter to the reproduction in two ways: they contribute
+/// the bulk of a core's original area (Table 2, "Orig. Area"), and they are
+/// the logic that transparency paths must *avoid or bypass* because data
+/// through them loses information.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction, FuKind, RtlNode};
+/// let mut b = CoreBuilder::new("c");
+/// let din = b.port("d", Direction::In, 8)?;
+/// let dout = b.port("q", Direction::Out, 8)?;
+/// let a = b.register("A", 8)?;
+/// let fu = b.functional_unit("alu", FuKind::Alu, 8)?;
+/// // The accumulator picks between the external input and the ALU result
+/// // through a mux tree, so both drivers are legs.
+/// b.connect_mux(RtlNode::Port(din), RtlNode::Reg(a), 0)?;
+/// b.connect_reg_to_fu(a, fu)?;
+/// b.connect_mux(RtlNode::Fu(fu), RtlNode::Reg(a), 1)?;
+/// b.connect_reg_to_port(a, dout)?;
+/// let core = b.build()?;
+/// assert_eq!(core.functional_unit(fu).kind(), FuKind::Alu);
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalUnit {
+    pub(crate) name: String,
+    pub(crate) kind: FuKind,
+    pub(crate) width: u16,
+}
+
+impl FunctionalUnit {
+    /// The unit's name, unique within its core.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operation the unit performs.
+    pub fn kind(&self) -> FuKind {
+        self.kind
+    }
+
+    /// The unit's datapath width.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+}
+
+impl fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu {} : {} [{}:0]", self.name, self.kind, self.width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_display() {
+        let r = Register {
+            name: "MAR".into(),
+            width: 12,
+        };
+        assert_eq!(r.to_string(), "reg MAR [11:0]");
+    }
+
+    #[test]
+    fn fu_kind_display() {
+        assert_eq!(FuKind::Alu.to_string(), "alu");
+        assert_eq!(FuKind::Random { gates: 40 }.to_string(), "random(40)");
+    }
+
+    #[test]
+    fn fu_display() {
+        let fu = FunctionalUnit {
+            name: "alu0".into(),
+            kind: FuKind::Add,
+            width: 8,
+        };
+        assert_eq!(fu.to_string(), "fu alu0 : add [7:0]");
+    }
+
+    #[test]
+    fn id_displays_are_distinct() {
+        assert_eq!(RegisterId(3).to_string(), "r3");
+        assert_eq!(FunctionalUnitId(3).to_string(), "fu3");
+    }
+}

@@ -1,0 +1,231 @@
+//! Connections: the directed, bit-sliced wiring of a core.
+
+use crate::bits::BitRange;
+use crate::component::{FunctionalUnitId, RegisterId};
+use crate::port::PortId;
+use std::fmt;
+
+/// Opaque handle to a [`Connection`] within one [`Core`](crate::Core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnectionId(pub(crate) u32);
+
+impl ConnectionId {
+    /// The handle's index within the core's connection table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a dense index, the inverse of
+    /// [`ConnectionId::index`]. The caller must keep the index within the
+    /// owning core's connection count.
+    pub fn from_index(i: usize) -> ConnectionId {
+        ConnectionId(i as u32)
+    }
+}
+
+impl fmt::Display for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A structural node of a core: a port, a register or a functional unit.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction, RtlNode};
+/// let mut b = CoreBuilder::new("c");
+/// let din = b.port("d", Direction::In, 4)?;
+/// let n = RtlNode::Port(din);
+/// assert!(matches!(n, RtlNode::Port(_)));
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RtlNode {
+    /// A core port.
+    Port(PortId),
+    /// A register.
+    Reg(RegisterId),
+    /// A functional unit.
+    Fu(FunctionalUnitId),
+}
+
+impl RtlNode {
+    /// Whether the node is a register.
+    pub fn is_reg(self) -> bool {
+        matches!(self, RtlNode::Reg(_))
+    }
+
+    /// Whether the node is a port.
+    pub fn is_port(self) -> bool {
+        matches!(self, RtlNode::Port(_))
+    }
+
+    /// Whether the node is a functional unit.
+    pub fn is_fu(self) -> bool {
+        matches!(self, RtlNode::Fu(_))
+    }
+}
+
+impl fmt::Display for RtlNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlNode::Port(p) => write!(f, "{p}"),
+            RtlNode::Reg(r) => write!(f, "{r}"),
+            RtlNode::Fu(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+/// One end of a connection: a node plus the bit range touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// The node the connection attaches to.
+    pub node: RtlNode,
+    /// The bits of the node the connection touches.
+    pub range: BitRange,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from a node and range.
+    pub fn new(node: RtlNode, range: BitRange) -> Self {
+        Endpoint { node, range }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.node, self.range)
+    }
+}
+
+/// How a connection is physically realized.
+///
+/// The realization decides whether the path can carry transparency data and
+/// what HSCAN configuration logic costs (Fig. 1 of the paper):
+///
+/// * [`Via::Direct`] — plain wires; HSCAN needs one OR gate at the load
+///   signal; transparent.
+/// * [`Via::MuxPath`] — one leg of a multiplexer at the sink; HSCAN needs two
+///   gates to steer the select; transparent.
+/// * [`Via::Bus`] — a tri-state bus segment; steering logic like a mux path;
+///   transparent.
+/// * [`Via::ThroughFu`] — the value passes through a functional unit and is
+///   transformed; *not* usable for transparency, and HSCAN must add a test
+///   mux to scan through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Via {
+    /// A plain wired connection.
+    Direct,
+    /// Leg `leg` (0-based) of the multiplexer tree feeding the sink.
+    MuxPath {
+        /// Which leg of the sink's mux tree carries this connection.
+        leg: u8,
+    },
+    /// A tri-state bus segment.
+    Bus,
+    /// Through the given functional unit (lossy).
+    ThroughFu(FunctionalUnitId),
+}
+
+impl Via {
+    /// Whether data crossing this connection is preserved bit-for-bit, i.e.
+    /// whether the connection may carry a transparency path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_rtl::Via;
+    /// assert!(Via::Direct.is_lossless());
+    /// assert!(Via::MuxPath { leg: 1 }.is_lossless());
+    /// ```
+    pub fn is_lossless(self) -> bool {
+        !matches!(self, Via::ThroughFu(_))
+    }
+}
+
+impl fmt::Display for Via {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Via::Direct => f.write_str("direct"),
+            Via::MuxPath { leg } => write!(f, "mux[leg {leg}]"),
+            Via::Bus => f.write_str("bus"),
+            Via::ThroughFu(fu) => write!(f, "through {fu}"),
+        }
+    }
+}
+
+/// A directed, bit-sliced connection between two nodes of a core.
+///
+/// `src.range.width() == dst.range.width()` always holds for a validated
+/// core.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction, Via};
+/// let mut b = CoreBuilder::new("c");
+/// let din = b.port("d", Direction::In, 8)?;
+/// let dout = b.port("q", Direction::Out, 8)?;
+/// let r = b.register("r", 8)?;
+/// b.connect_port_to_reg(din, r)?;
+/// b.connect_reg_to_port(r, dout)?;
+/// let core = b.build()?;
+/// let conn = &core.connections()[0];
+/// assert_eq!(conn.via, Via::Direct);
+/// assert_eq!(conn.src.range.width(), conn.dst.range.width());
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// Where the data comes from.
+    pub src: Endpoint,
+    /// Where the data goes.
+    pub dst: Endpoint,
+    /// How the connection is realized.
+    pub via: Via,
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} via {}", self.src, self.dst, self.via)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_kind_predicates() {
+        let p = RtlNode::Port(PortId(0));
+        let r = RtlNode::Reg(RegisterId(0));
+        let u = RtlNode::Fu(FunctionalUnitId(0));
+        assert!(p.is_port() && !p.is_reg() && !p.is_fu());
+        assert!(r.is_reg() && !r.is_port() && !r.is_fu());
+        assert!(u.is_fu() && !u.is_port() && !u.is_reg());
+    }
+
+    #[test]
+    fn via_losslessness() {
+        assert!(Via::Direct.is_lossless());
+        assert!(Via::Bus.is_lossless());
+        assert!(Via::MuxPath { leg: 0 }.is_lossless());
+        assert!(!Via::ThroughFu(FunctionalUnitId(1)).is_lossless());
+    }
+
+    #[test]
+    fn displays() {
+        let e = Endpoint::new(RtlNode::Reg(RegisterId(2)), BitRange::new(0, 7));
+        assert_eq!(e.to_string(), "r2(7 downto 0)");
+        assert_eq!(Via::MuxPath { leg: 1 }.to_string(), "mux[leg 1]");
+        assert_eq!(Via::ThroughFu(FunctionalUnitId(4)).to_string(), "through fu4");
+        let c = Connection {
+            src: e,
+            dst: Endpoint::new(RtlNode::Port(PortId(1)), BitRange::new(0, 7)),
+            via: Via::Direct,
+        };
+        assert_eq!(c.to_string(), "r2(7 downto 0) -> p1(7 downto 0) via direct");
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type for RTL construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating an RTL [`Core`](crate::Core)
+/// or [`Soc`](crate::Soc).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// A name was reused inside the same namespace of one core or SOC.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A width of zero was requested for a port, register or unit.
+    ZeroWidth {
+        /// The name of the zero-width item.
+        name: String,
+    },
+    /// A bit range falls outside the width of the node it addresses.
+    RangeOutOfBounds {
+        /// Description of the offending endpoint.
+        endpoint: String,
+        /// Width of the node being addressed.
+        width: u16,
+    },
+    /// The source and destination ranges of a connection have different
+    /// widths.
+    WidthMismatch {
+        /// Description of the offending connection.
+        connection: String,
+    },
+    /// A connection drives into an input port or out of an output port.
+    DirectionViolation {
+        /// Description of the offending connection.
+        connection: String,
+    },
+    /// Two connections drive overlapping bits of the same sink without being
+    /// distinct mux legs or bus segments.
+    DriverConflict {
+        /// Description of the sink with conflicting drivers.
+        sink: String,
+    },
+    /// A port, register or functional unit has no connection at all.
+    Dangling {
+        /// Description of the dangling item.
+        item: String,
+    },
+    /// A handle was used with a core that did not issue it.
+    ForeignHandle {
+        /// Description of the misused handle.
+        handle: String,
+    },
+    /// SOC-level: a net references a pin or core port inconsistently.
+    BadSocNet {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            RtlError::ZeroWidth { name } => write!(f, "`{name}` has zero width"),
+            RtlError::RangeOutOfBounds { endpoint, width } => {
+                write!(f, "range of {endpoint} exceeds node width {width}")
+            }
+            RtlError::WidthMismatch { connection } => {
+                write!(f, "source/destination widths differ in {connection}")
+            }
+            RtlError::DirectionViolation { connection } => {
+                write!(f, "connection violates port direction: {connection}")
+            }
+            RtlError::DriverConflict { sink } => {
+                write!(f, "conflicting drivers on {sink}")
+            }
+            RtlError::Dangling { item } => write!(f, "{item} has no connections"),
+            RtlError::ForeignHandle { handle } => {
+                write!(f, "handle {handle} does not belong to this core")
+            }
+            RtlError::BadSocNet { detail } => write!(f, "invalid SOC net: {detail}"),
+        }
+    }
+}
+
+impl Error for RtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = RtlError::DuplicateName { name: "IR".into() };
+        assert_eq!(e.to_string(), "duplicate name `IR`");
+        let e = RtlError::WidthMismatch {
+            connection: "a -> b".into(),
+        };
+        assert!(e.to_string().contains("a -> b"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RtlError>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Human-readable netlist dumps: a stable text rendering of cores and
+//! SOCs, for debugging, diffing and documentation.
+
+use crate::core::Core;
+use crate::port::Direction;
+use crate::soc::{Soc, SocEndpoint};
+use std::fmt::Write as _;
+
+/// Renders `core` as an indented text netlist.
+///
+/// The format is stable across runs (declaration order) so dumps can be
+/// diffed.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction, export::dump_core};
+/// let mut b = CoreBuilder::new("buf");
+/// let i = b.port("i", Direction::In, 8)?;
+/// let o = b.port("o", Direction::Out, 8)?;
+/// let r = b.register("r", 8)?;
+/// b.connect_port_to_reg(i, r)?;
+/// b.connect_reg_to_port(r, o)?;
+/// let text = dump_core(&b.build()?);
+/// assert!(text.contains("core buf"));
+/// assert!(text.contains("in  i"));
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+pub fn dump_core(core: &Core) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "core {} {{", core.name());
+    for p in core.ports() {
+        let dir = match p.direction() {
+            Direction::In => "in ",
+            Direction::Out => "out",
+        };
+        let _ = writeln!(
+            out,
+            "  {dir} {:<16} [{:>2} bits, {}]",
+            p.name(),
+            p.width(),
+            p.class()
+        );
+    }
+    for r in core.registers() {
+        let _ = writeln!(out, "  reg {:<16} [{:>2} bits]", r.name(), r.width());
+    }
+    for fu in core.functional_units() {
+        let _ = writeln!(
+            out,
+            "  fu  {:<16} [{:>2} bits, {}]",
+            fu.name(),
+            fu.width(),
+            fu.kind()
+        );
+    }
+    for c in core.connections() {
+        let _ = writeln!(
+            out,
+            "  {}{} -> {}{} via {}",
+            core.name_of(c.src.node),
+            c.src.range,
+            core.name_of(c.dst.node),
+            c.dst.range,
+            c.via
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `soc` as an indented text netlist, including every instantiated
+/// core's dump.
+///
+/// # Examples
+///
+/// ```
+/// let text = socet_rtl::export::dump_soc(&socet_socs_free_example());
+/// # fn socet_socs_free_example() -> socet_rtl::Soc {
+/// #     use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+/// #     use std::sync::Arc;
+/// #     let mut b = CoreBuilder::new("buf");
+/// #     let i = b.port("i", Direction::In, 4).unwrap();
+/// #     let o = b.port("o", Direction::Out, 4).unwrap();
+/// #     let r = b.register("r", 4).unwrap();
+/// #     b.connect_port_to_reg(i, r).unwrap();
+/// #     b.connect_reg_to_port(r, o).unwrap();
+/// #     let core = Arc::new(b.build().unwrap());
+/// #     let mut sb = SocBuilder::new("chip");
+/// #     let pi = sb.input_pin("pi", 4).unwrap();
+/// #     let po = sb.output_pin("po", 4).unwrap();
+/// #     let u = sb.instantiate("u", core).unwrap();
+/// #     sb.connect_pin_to_core(pi, u, i).unwrap();
+/// #     sb.connect_core_to_pin(u, o, po).unwrap();
+/// #     sb.build().unwrap()
+/// # }
+/// assert!(text.contains("soc chip"));
+/// ```
+pub fn dump_soc(soc: &Soc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "soc {} {{", soc.name());
+    for p in soc.pins() {
+        let dir = match p.direction() {
+            Direction::In => "in ",
+            Direction::Out => "out",
+        };
+        let _ = writeln!(out, "  pin {dir} {:<16} [{:>2} bits]", p.name(), p.width());
+    }
+    for inst in soc.cores() {
+        let _ = writeln!(
+            out,
+            "  core {:<16} : {}{}",
+            inst.name(),
+            inst.core().name(),
+            if inst.is_memory() { " (memory)" } else { "" }
+        );
+    }
+    let ep_name = |ep: &SocEndpoint| match *ep {
+        SocEndpoint::Pin { pin, range } => format!("{}{range}", soc.pin(pin).name()),
+        SocEndpoint::CorePort { core, port, range } => format!(
+            "{}.{}{range}",
+            soc.core(core).name(),
+            soc.core(core).core().port(port).name()
+        ),
+    };
+    for net in soc.nets() {
+        let _ = writeln!(out, "  net {} -> {}", ep_name(&net.src), ep_name(&net.dst));
+    }
+    out.push_str("}\n");
+    for inst in soc.cores() {
+        out.push('\n');
+        out.push_str(&dump_core(inst.core()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreBuilder;
+    use crate::soc::SocBuilder;
+    use std::sync::Arc;
+
+    fn buf() -> Core {
+        let mut b = CoreBuilder::new("buf");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn core_dump_lists_everything() {
+        let text = dump_core(&buf());
+        assert!(text.contains("core buf {"));
+        assert!(text.contains("in  i"));
+        assert!(text.contains("out o"));
+        assert!(text.contains("reg r"));
+        assert!(text.contains("-> r(7 downto 0) via direct"));
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        assert_eq!(dump_core(&buf()), dump_core(&buf()));
+    }
+
+    #[test]
+    fn soc_dump_includes_cores_and_nets() {
+        let core = Arc::new(buf());
+        let i = core.find_port("i").unwrap();
+        let o = core.find_port("o").unwrap();
+        let mut sb = SocBuilder::new("chip");
+        let pi = sb.input_pin("pi", 8).unwrap();
+        let po = sb.output_pin("po", 8).unwrap();
+        let u = sb.instantiate("u", core.clone()).unwrap();
+        sb.connect_pin_to_core(pi, u, i).unwrap();
+        sb.connect_core_to_pin(u, o, po).unwrap();
+        let soc = sb.build().unwrap();
+        let text = dump_soc(&soc);
+        assert!(text.contains("soc chip {"));
+        assert!(text.contains("core u"));
+        assert!(text.contains("net pi(7 downto 0) -> u.i(7 downto 0)"));
+        assert!(text.contains("core buf {"));
+    }
+}

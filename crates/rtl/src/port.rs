@@ -1,0 +1,168 @@
+//! Core ports: the boundary of a core's structural model.
+
+use std::fmt;
+
+/// Opaque handle to a [`Port`] within one [`Core`](crate::Core).
+///
+/// Handles are only meaningful for the core that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub(crate) u32);
+
+impl PortId {
+    /// The handle's index within the core's port table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Direction of a core port, seen from inside the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Data flows into the core.
+    In,
+    /// Data flows out of the core.
+    Out,
+}
+
+impl Direction {
+    /// The opposite direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_rtl::Direction;
+    /// assert_eq!(Direction::In.flip(), Direction::Out);
+    /// ```
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::In => Direction::Out,
+            Direction::Out => Direction::In,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::In => "in",
+            Direction::Out => "out",
+        })
+    }
+}
+
+/// Whether a port carries datapath values or control signals.
+///
+/// The paper treats control inputs "as data inputs", bypassing random logic
+/// with single-bit multiplexers when no direct path to a control register
+/// exists (§4, last paragraph); the distinction lets the transparency engine
+/// apply that cheaper treatment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SignalClass {
+    /// Multi-bit datapath signal.
+    #[default]
+    Data,
+    /// Control signal (reset, interrupt, handshake, ...).
+    Control,
+}
+
+impl fmt::Display for SignalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SignalClass::Data => "data",
+            SignalClass::Control => "control",
+        })
+    }
+}
+
+/// A port of a core: name, direction, width and signal class.
+///
+/// # Examples
+///
+/// ```
+/// use socet_rtl::{CoreBuilder, Direction, SignalClass};
+/// let mut b = CoreBuilder::new("c");
+/// let id = b.control_port("reset", Direction::In)?;
+/// let core = {
+///     let dout = b.port("q", Direction::Out, 1)?;
+///     let r = b.register("r", 1)?;
+///     b.connect_port_to_reg(id, r)?;
+///     b.connect_reg_to_port(r, dout)?;
+///     b.build()?
+/// };
+/// let p = core.port(id);
+/// assert_eq!(p.name(), "reset");
+/// assert_eq!(p.width(), 1);
+/// assert_eq!(p.class(), SignalClass::Control);
+/// # Ok::<(), socet_rtl::RtlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    pub(crate) name: String,
+    pub(crate) direction: Direction,
+    pub(crate) width: u16,
+    pub(crate) class: SignalClass,
+}
+
+impl Port {
+    /// The port's name, unique within its core.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port's direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The port's bit width.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Whether the port carries data or control.
+    pub fn class(&self) -> SignalClass {
+        self.class
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}:0]", self.direction, self.name, self.width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for d in [Direction::In, Direction::Out] {
+            assert_eq!(d.flip().flip(), d);
+        }
+    }
+
+    #[test]
+    fn default_class_is_data() {
+        assert_eq!(SignalClass::default(), SignalClass::Data);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Port {
+            name: "addr".into(),
+            direction: Direction::Out,
+            width: 12,
+            class: SignalClass::Data,
+        };
+        assert_eq!(p.to_string(), "out addr [11:0]");
+        assert_eq!(Direction::In.to_string(), "in");
+        assert_eq!(SignalClass::Control.to_string(), "control");
+    }
+}

@@ -1,0 +1,579 @@
+//! System 1: the barcode-scanning embedded SOC of Fig. 2 of the paper.
+//!
+//! Five cores: the CPU of Fig. 3 (Navabi's VHDL CPU), the barcode
+//! PREPROCESSOR, the seven-segment DISPLAY driver, and BIST-tested RAM and
+//! ROM memory cores. The RTL models are reconstructions calibrated to the
+//! paper's reported characteristics:
+//!
+//! * CPU RCG shaped like Fig. 7 — `Data` feeds the O-split `IR`; the
+//!   accumulator walk reaches `Address(7 downto 0)` in six cycles; `MAR
+//!   page` hangs off `IR` for `Address(11 downto 8)` in two; mux `M`
+//!   offers the non-HSCAN one-cycle shortcut of Version 2 (Fig. 5 adds the
+//!   Version-3 transparency mux). Control chains `Reset → Read` and
+//!   `Interrupt → Write` take two cycles each (§3).
+//! * PREPROCESSOR with `NUM → DB` in five cycles (one with the Version-2
+//!   shortcut) and `NUM → Address` in two, plus the `Reset → Eoc` control
+//!   chain of §5.2's worked ΔTAT computation. Its `Address` output feeds
+//!   only the RAM, so chip-level observation needs a system-level test mux
+//!   — exactly the mux shown in Fig. 9.
+//! * DISPLAY with 66 flip-flops and 20 internal input bits (the
+//!   FSCAN-BSCAN example costs `(66+20)×105+(66+20)−1 = 9115` cycles), an
+//!   HSCAN depth of 4 (105 combinational vectors → 525 HSCAN vectors), and
+//!   the Fig. 8(b) latency ladder `D→OUT: 2/2/1`, `A→OUT: 3/1/1`.
+
+use socet_rtl::{BitRange, Core, CoreBuilder, Direction, RtlNode, Soc, SocBuilder};
+use std::sync::Arc;
+
+/// Builds the CPU core of Fig. 3 / Fig. 7.
+///
+/// Ports: `Data\[8\]` in, `Reset`/`Interrupt` control in; `AddrLo\[8\]`
+/// (`Address(7 downto 0)`), `AddrHi\[4\]` (`Address(11 downto 8)`) out,
+/// `Read`/`Write` control out.
+pub fn cpu_core() -> Core {
+    let mut b = CoreBuilder::new("CPU");
+    let data = b.port("Data", Direction::In, 8).expect("fresh name");
+    let reset = b.control_port("Reset", Direction::In).expect("fresh name");
+    let intr = b.control_port("Interrupt", Direction::In).expect("fresh name");
+    let a_lo = b.port("AddrLo", Direction::Out, 8).expect("fresh name");
+    let a_hi = b.port("AddrHi", Direction::Out, 4).expect("fresh name");
+    let read = b
+        .port_with_class("Read", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+    let write = b
+        .port_with_class("Write", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+
+    let ir = b.register("IR", 8).expect("fresh name");
+    let acc = b.register("ACC", 8).expect("fresh name");
+    let status = b.register("STATUS", 8).expect("fresh name");
+    let tmp = b.register("TMP", 8).expect("fresh name");
+    let pc = b.register("PC", 8).expect("fresh name");
+    let mar_off = b.register("MAR_offset", 8).expect("fresh name");
+    let mar_page = b.register("MAR_page", 4).expect("fresh name");
+
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("CPU wiring is statically consistent");
+    };
+    // Data -> IR; IR is O-split (Fig. 7): low nibble to ACC low and MAR
+    // page, high nibble to ACC high.
+    ok(b.connect_mux(RtlNode::Port(data), RtlNode::Reg(ir), 0));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(ir),
+        BitRange::new(0, 3),
+        RtlNode::Reg(acc),
+        BitRange::new(0, 3),
+        0,
+    ));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(ir),
+        BitRange::new(4, 7),
+        RtlNode::Reg(acc),
+        BitRange::new(4, 7),
+        0,
+    ));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(ir),
+        BitRange::new(0, 3),
+        RtlNode::Reg(mar_page),
+        BitRange::full(4),
+        0,
+    ));
+    // The accumulator walk: ACC -> STATUS -> TMP -> PC -> MAR_offset.
+    ok(b.connect_mux(RtlNode::Reg(acc), RtlNode::Reg(status), 0));
+    ok(b.connect_mux(RtlNode::Reg(status), RtlNode::Reg(tmp), 0));
+    ok(b.connect_mux(RtlNode::Reg(tmp), RtlNode::Reg(pc), 0));
+    ok(b.connect_mux(RtlNode::Reg(pc), RtlNode::Reg(mar_off), 0));
+    // Mux M: the existing non-HSCAN shortcut Version 2 steers (Fig. 5).
+    ok(b.connect_mux(RtlNode::Port(data), RtlNode::Reg(mar_off), 1));
+    // Address outputs.
+    ok(b.connect_reg_to_port(mar_off, a_lo));
+    ok(b.connect_reg_to_port(mar_page, a_hi));
+
+    // Control chains: Reset -> C1 -> C2 -> Read, Interrupt -> C3 -> C4 ->
+    // Write; two cycles each, "the Read and Write chain in Fig. 4".
+    let c1 = b.register("C1", 1).expect("fresh name");
+    let c2 = b.register("C2", 1).expect("fresh name");
+    let c3 = b.register("C3", 1).expect("fresh name");
+    let c4 = b.register("C4", 1).expect("fresh name");
+    ok(b.connect_port_to_reg(reset, c1));
+    ok(b.connect_reg_to_reg(c1, c2));
+    ok(b.connect_reg_to_port(c2, read));
+    ok(b.connect_port_to_reg(intr, c3));
+    ok(b.connect_reg_to_reg(c3, c4));
+    ok(b.connect_reg_to_port(c4, write));
+
+    // Register file: eight 8-bit registers hanging off the accumulator
+    // (forked scan chains, no effect on the Fig. 6 latencies).
+    let mut prev = acc;
+    for k in 0..8 {
+        let rf = b.register(&format!("RF{k}"), 8).expect("fresh name");
+        ok(b.connect_mux(RtlNode::Reg(prev), RtlNode::Reg(rf), 1));
+        prev = rf;
+    }
+
+    // Datapath and control logic: the ALU around the accumulator, the PC
+    // incrementer, and the instruction decoder.
+    let alu = b
+        .functional_unit("alu", socet_rtl::FuKind::Alu, 8)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(acc, alu));
+    ok(b.connect_reg_to_fu(prev, alu));
+    ok(b.connect_mux(RtlNode::Fu(alu), RtlNode::Reg(acc), 1));
+    let inc = b
+        .functional_unit("pc_inc", socet_rtl::FuKind::Inc, 8)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(pc, inc));
+    ok(b.connect_mux(RtlNode::Fu(inc), RtlNode::Reg(pc), 1));
+    let decode = b
+        .functional_unit("decode", socet_rtl::FuKind::Random { gates: 700 }, 8)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(ir, decode));
+    ok(b.connect_mux(RtlNode::Fu(decode), RtlNode::Reg(tmp), 1));
+
+    b.build().expect("CPU netlist is statically consistent")
+}
+
+/// Builds the barcode PREPROCESSOR core.
+///
+/// Ports: `NUM\[8\]` in (the bar widths), `Reset` control in; `DB\[8\]` out
+/// (to the CPU's `Data` and the DISPLAY's `D`), `Address\[12\]` out (to the
+/// RAM only — unobservable without the Fig. 9 system mux), `Eoc` control
+/// out.
+pub fn preprocessor_core() -> Core {
+    let mut b = CoreBuilder::new("PREPROCESSOR");
+    let num = b.port("NUM", Direction::In, 8).expect("fresh name");
+    let reset = b.control_port("Reset", Direction::In).expect("fresh name");
+    let db = b.port("DB", Direction::Out, 8).expect("fresh name");
+    let addr = b.port("Address", Direction::Out, 12).expect("fresh name");
+    let eoc = b
+        .port_with_class("Eoc", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("PREPROCESSOR wiring is statically consistent");
+    };
+    // Five-stage width pipeline: NUM -> W1..W4 -> DBR -> DB (Fig. 8(a),
+    // NUM->DB = 5 in Version 1).
+    let w1 = b.register("W1", 8).expect("fresh name");
+    let w2 = b.register("W2", 8).expect("fresh name");
+    let w3 = b.register("W3", 8).expect("fresh name");
+    let w4 = b.register("W4", 8).expect("fresh name");
+    let dbr = b.register("DBR", 8).expect("fresh name");
+    ok(b.connect_mux(RtlNode::Port(num), RtlNode::Reg(w1), 0));
+    ok(b.connect_mux(RtlNode::Reg(w1), RtlNode::Reg(w2), 0));
+    ok(b.connect_mux(RtlNode::Reg(w2), RtlNode::Reg(w3), 0));
+    ok(b.connect_mux(RtlNode::Reg(w3), RtlNode::Reg(w4), 0));
+    ok(b.connect_mux(RtlNode::Reg(w4), RtlNode::Reg(dbr), 0));
+    ok(b.connect_reg_to_port(dbr, db));
+    // The Version-2 shortcut: NUM -> DBR in one cycle.
+    ok(b.connect_mux(RtlNode::Port(num), RtlNode::Reg(dbr), 1));
+
+    // Address counter path: NUM -> AC1 -> ADDR -> Address (two cycles).
+    let ac1 = b.register("AC1", 8).expect("fresh name");
+    let addr_r = b.register("ADDR", 12).expect("fresh name");
+    ok(b.connect_mux(RtlNode::Port(num), RtlNode::Reg(ac1), 0));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(ac1),
+        BitRange::full(8),
+        RtlNode::Reg(addr_r),
+        BitRange::new(0, 7),
+        0,
+    ));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(ac1),
+        BitRange::new(0, 3),
+        RtlNode::Reg(addr_r),
+        BitRange::new(8, 11),
+        0,
+    ));
+    ok(b.connect_reg_to_port(addr_r, addr));
+
+    // End-of-conversion control chain: Reset -> E1 -> E2 -> Eoc (the §5.2
+    // edge (Reset, Eoc) with latency 2).
+    let e1 = b.register("E1", 1).expect("fresh name");
+    let e2 = b.register("E2", 1).expect("fresh name");
+    ok(b.connect_port_to_reg(reset, e1));
+    ok(b.connect_reg_to_reg(e1, e2));
+    ok(b.connect_reg_to_port(e2, eoc));
+
+    // FIFO bank off the width pipeline (scan forks) and the bar-width
+    // detection logic.
+    let mut prev = w2;
+    for k in 0..6 {
+        let f = b.register(&format!("F{k}"), 8).expect("fresh name");
+        ok(b.connect_mux(RtlNode::Reg(prev), RtlNode::Reg(f), 1));
+        prev = f;
+    }
+    let detect = b
+        .functional_unit("detect", socet_rtl::FuKind::Random { gates: 350 }, 8)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(w1, detect));
+    ok(b.connect_reg_to_fu(prev, detect)); // FIFO tail is observed here
+    ok(b.connect_mux(RtlNode::Fu(detect), RtlNode::Reg(ac1), 1));
+    let counter = b
+        .functional_unit("addr_inc", socet_rtl::FuKind::Inc, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(addr_r, counter));
+    ok(b.connect_mux(RtlNode::Fu(counter), RtlNode::Reg(addr_r), 1));
+
+    b.build().expect("PREPROCESSOR netlist is statically consistent")
+}
+
+/// Builds the DISPLAY core: 66 flip-flops, 20 internal input bits, HSCAN
+/// depth 4, six seven-segment output ports.
+///
+/// Ports: `ALo\[8\]`/`AHi\[4\]` in (the CPU's `Address`), `D\[8\]` in (the data
+/// bus); `P1..P6` out (display segment codes).
+pub fn display_core() -> Core {
+    let mut b = CoreBuilder::new("DISPLAY");
+    let a_lo = b.port("ALo", Direction::In, 8).expect("fresh name");
+    let a_hi = b.port("AHi", Direction::In, 4).expect("fresh name");
+    let d = b.port("D", Direction::In, 8).expect("fresh name");
+    let p: Vec<_> = (1..=6)
+        .map(|k| {
+            b.port(&format!("P{k}"), Direction::Out, 7)
+                .expect("fresh name")
+        })
+        .collect();
+
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("DISPLAY wiring is statically consistent");
+    };
+    // 66 flip-flops: RA(12) + RB(12) + PB1(12) + PB2(14) + RD(8) + RD2(8).
+    // Declaration order matters: RA leads so the main HSCAN chain is
+    // RA -> RB -> PB1 -> PB2 (sequential depth 4, the paper's value).
+    let ra = b.register("RA", 12).expect("fresh name");
+    let rb = b.register("RB", 12).expect("fresh name");
+    let pb1 = b.register("PB1", 12).expect("fresh name");
+    let pb2 = b.register("PB2", 14).expect("fresh name");
+    let rd = b.register("RD", 8).expect("fresh name");
+    let rd2 = b.register("RD2", 8).expect("fresh name");
+
+    // Address register is C-split across the two address slices.
+    ok(b.connect_slice(
+        RtlNode::Port(a_lo),
+        BitRange::full(8),
+        RtlNode::Reg(ra),
+        BitRange::new(0, 7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Port(a_hi),
+        BitRange::full(4),
+        RtlNode::Reg(ra),
+        BitRange::new(8, 11),
+    ));
+    ok(b.connect_mux(RtlNode::Reg(ra), RtlNode::Reg(rb), 0));
+    ok(b.connect_mux(RtlNode::Reg(rb), RtlNode::Reg(pb1), 0));
+    // PB2 is C-split: codes from the address pipeline plus two bits of the
+    // data pipeline.
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(pb1),
+        BitRange::full(12),
+        RtlNode::Reg(pb2),
+        BitRange::new(0, 11),
+        0,
+    ));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(rd2),
+        BitRange::new(0, 1),
+        RtlNode::Reg(pb2),
+        BitRange::new(12, 13),
+        0,
+    ));
+    // Data pipeline: D -> RD -> RD2 -> P6 (D -> OUT in two cycles).
+    ok(b.connect_port_to_reg(d, rd));
+    ok(b.connect_mux(RtlNode::Reg(rd), RtlNode::Reg(rd2), 0));
+    // Version-2 shortcuts: the address value can steer straight into PB1.
+    ok(b.connect_mux_slice(
+        RtlNode::Port(a_lo),
+        BitRange::full(8),
+        RtlNode::Reg(pb1),
+        BitRange::new(0, 7),
+        1,
+    ));
+    ok(b.connect_mux_slice(
+        RtlNode::Port(a_hi),
+        BitRange::full(4),
+        RtlNode::Reg(pb1),
+        BitRange::new(8, 11),
+        1,
+    ));
+    // Six display ports.
+    ok(b.connect_slice(
+        RtlNode::Reg(pb1),
+        BitRange::new(0, 6),
+        RtlNode::Port(p[0]),
+        BitRange::full(7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Reg(pb1),
+        BitRange::new(5, 11),
+        RtlNode::Port(p[1]),
+        BitRange::full(7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Reg(pb2),
+        BitRange::new(0, 6),
+        RtlNode::Port(p[2]),
+        BitRange::full(7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Reg(pb2),
+        BitRange::new(7, 13),
+        RtlNode::Port(p[3]),
+        BitRange::full(7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Reg(pb2),
+        BitRange::new(0, 6),
+        RtlNode::Port(p[4]),
+        BitRange::full(7),
+    ));
+    ok(b.connect_slice(
+        RtlNode::Reg(rd2),
+        BitRange::new(0, 6),
+        RtlNode::Port(p[5]),
+        BitRange::full(7),
+    ));
+    // Segment decode logic.
+    let segdec = b
+        .functional_unit("segdec", socet_rtl::FuKind::Random { gates: 320 }, 8)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(rd, segdec));
+    ok(b.connect_mux_slice(
+        RtlNode::Fu(segdec),
+        BitRange::full(8),
+        RtlNode::Reg(rd2),
+        BitRange::full(8),
+        1,
+    ));
+
+    b.build().expect("DISPLAY netlist is statically consistent")
+}
+
+/// A memory macro used for the RAM/ROM instances: a single data register
+/// between its ports (the paper excludes memories from transparency
+/// routing; this model only makes the netlist complete).
+pub fn memory_core(name: &str, addr_width: u16, data_width: u16) -> Core {
+    let mut b = CoreBuilder::new(name);
+    let addr = b.port("Addr", Direction::In, addr_width).expect("fresh name");
+    let din = b.port("Din", Direction::In, data_width).expect("fresh name");
+    let dout = b.port("Dout", Direction::Out, data_width).expect("fresh name");
+    let ar = b.register("AR", addr_width).expect("fresh name");
+    let dr = b.register("DR", data_width).expect("fresh name");
+    b.connect_port_to_reg(addr, ar).expect("consistent");
+    b.connect_mux(RtlNode::Port(din), RtlNode::Reg(dr), 0)
+        .expect("consistent");
+    b.connect_reg_to_port(dr, dout).expect("consistent");
+    let array = b
+        .functional_unit("array", socet_rtl::FuKind::Random { gates: 64 }, data_width)
+        .expect("fresh name");
+    b.connect_reg_to_fu(ar, array).expect("consistent");
+    b.connect_mux(RtlNode::Fu(array), RtlNode::Reg(dr), 1)
+        .expect("consistent");
+    b.build().expect("memory netlist is statically consistent")
+}
+
+/// Assembles System 1 (Fig. 2): PREPROCESSOR → {CPU, DISPLAY} with the
+/// RAM/ROM as memory cores.
+///
+/// Chip pins: `NUM\[8\]`, `Reset`, `Video_Int` in; `PO_PORT1..6\[7\]` out.
+/// The dashed Fig. 2 path — `NUM → DB → Data → Address → A` — is the test
+/// access route for the DISPLAY.
+///
+/// # Examples
+///
+/// ```
+/// let soc = socet_socs::barcode_system();
+/// assert_eq!(soc.logic_cores().len(), 3);
+/// assert_eq!(soc.cores().len(), 5);
+/// ```
+pub fn barcode_system() -> Soc {
+    let cpu = Arc::new(cpu_core());
+    let prep = Arc::new(preprocessor_core());
+    let disp = Arc::new(display_core());
+    let ram = Arc::new(memory_core("RAM", 12, 8));
+    let rom = Arc::new(memory_core("ROM", 12, 8));
+
+    let mut sb = SocBuilder::new("System1");
+    let num = sb.input_pin("NUM", 8).expect("fresh name");
+    let reset = sb.input_pin("Reset", 1).expect("fresh name");
+    let po: Vec<_> = (1..=6)
+        .map(|k| sb.output_pin(&format!("PO_PORT{k}"), 7).expect("fresh name"))
+        .collect();
+
+    let u_prep = sb.instantiate("PREPROCESSOR", prep.clone()).expect("fresh");
+    let u_cpu = sb.instantiate("CPU", cpu.clone()).expect("fresh");
+    let u_disp = sb.instantiate("DISPLAY", disp.clone()).expect("fresh");
+    let u_ram = sb.instantiate_memory("RAM", ram.clone()).expect("fresh");
+    let u_rom = sb.instantiate_memory("ROM", rom.clone()).expect("fresh");
+
+    let find = |c: &Core, n: &str| c.find_port(n).expect("port exists");
+    let ok = |r: Result<(), socet_rtl::RtlError>| r.expect("System 1 wiring is consistent");
+
+    // Chip inputs.
+    ok(sb.connect_pin_to_core(num, u_prep, find(&prep, "NUM")));
+    ok(sb.connect_pin_to_core(reset, u_prep, find(&prep, "Reset")));
+    ok(sb.connect_pin_to_core(reset, u_cpu, find(&cpu, "Reset")));
+    // The PREPROCESSOR's end-of-conversion interrupt drives the CPU — the
+    // CCG edge whose (Reset, Eoc) chain §5.2 counts when testing the CPU.
+    ok(sb.connect_cores(u_prep, find(&prep, "Eoc"), u_cpu, find(&cpu, "Interrupt")));
+
+    // The shared data bus: PREPROCESSOR.DB feeds the CPU and the DISPLAY.
+    ok(sb.connect_cores(u_prep, find(&prep, "DB"), u_cpu, find(&cpu, "Data")));
+    ok(sb.connect_cores(u_prep, find(&prep, "DB"), u_disp, find(&disp, "D")));
+    ok(sb.connect_cores(u_prep, find(&prep, "DB"), u_ram, find(&ram, "Din")));
+
+    // CPU address bus: to the DISPLAY's A and the memories.
+    ok(sb.connect_cores(u_cpu, find(&cpu, "AddrLo"), u_disp, find(&disp, "ALo")));
+    ok(sb.connect_cores(u_cpu, find(&cpu, "AddrHi"), u_disp, find(&disp, "AHi")));
+    ok(sb.connect(
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_cpu,
+            port: find(&cpu, "AddrLo"),
+            range: BitRange::full(8),
+        },
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_ram,
+            port: find(&ram, "Addr"),
+            range: BitRange::new(0, 7),
+        },
+    ));
+    ok(sb.connect(
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_cpu,
+            port: find(&cpu, "AddrHi"),
+            range: BitRange::full(4),
+        },
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_rom,
+            port: find(&rom, "Addr"),
+            range: BitRange::new(0, 3),
+        },
+    ));
+    // PREPROCESSOR writes bar widths to the RAM.
+    ok(sb.connect(
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_prep,
+            port: find(&prep, "Address"),
+            range: BitRange::full(12),
+        },
+        socet_rtl::SocEndpoint::CorePort {
+            core: u_ram,
+            port: find(&ram, "Addr"),
+            range: BitRange::full(12),
+        },
+    ));
+    // ROM program path back into the CPU is part of the functional design;
+    // at test time memories are bypassed, so this net is informational.
+    ok(sb.connect_cores(u_rom, find(&rom, "Dout"), u_ram, find(&ram, "Din")));
+
+    // DISPLAY ports are the chip outputs.
+    for (k, pin) in po.iter().enumerate() {
+        ok(sb.connect_core_to_pin(u_disp, find(&disp, &format!("P{}", k + 1)), *pin));
+    }
+
+    sb.build().expect("System 1 is statically consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_cells::{CellLibrary, DftCosts};
+    use socet_hscan::insert_hscan;
+    use socet_transparency::synthesize_versions;
+
+    #[test]
+    fn display_matches_paper_characteristics() {
+        let disp = display_core();
+        assert_eq!(disp.flip_flop_count(), 66, "the paper's 66 flip-flops");
+        assert_eq!(disp.input_bits(), 20, "the paper's 20 internal inputs");
+        let hscan = insert_hscan(&disp, &DftCosts::default());
+        assert_eq!(hscan.sequential_depth(), 4, "HSCAN depth 4");
+        assert_eq!(hscan.test_length(105), 525, "105 vectors -> 525 HSCAN vectors");
+    }
+
+    #[test]
+    fn cpu_versions_match_fig6() {
+        let cpu = cpu_core();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&cpu, &costs);
+        let versions = synthesize_versions(&cpu, &hscan, &costs);
+        let data = cpu.find_port("Data").unwrap();
+        let a_lo = cpu.find_port("AddrLo").unwrap();
+        let a_hi = cpu.find_port("AddrHi").unwrap();
+        let lat: Vec<(u32, u32)> = versions
+            .iter()
+            .map(|v| {
+                (
+                    v.pair_latency(data, a_lo).unwrap(),
+                    v.pair_latency(data, a_hi).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(lat, vec![(6, 2), (1, 2), (1, 1)], "Fig. 6 latencies");
+        let lib = CellLibrary::generic_08um();
+        let ovh: Vec<u64> = versions.iter().map(|v| v.overhead_cells(&lib)).collect();
+        assert_eq!(ovh, vec![3, 10, 30], "Fig. 6 overheads");
+    }
+
+    #[test]
+    fn preprocessor_versions_match_fig8a_latencies() {
+        let prep = preprocessor_core();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&prep, &costs);
+        let versions = synthesize_versions(&prep, &hscan, &costs);
+        let num = prep.find_port("NUM").unwrap();
+        let db = prep.find_port("DB").unwrap();
+        let reset = prep.find_port("Reset").unwrap();
+        let eoc = prep.find_port("Eoc").unwrap();
+        assert_eq!(versions[0].pair_latency(num, db), Some(5), "v1 NUM->DB = 5");
+        assert_eq!(versions[1].pair_latency(num, db), Some(1), "v2 NUM->DB = 1");
+        assert_eq!(versions[2].pair_latency(num, db), Some(1), "v3 NUM->DB = 1");
+        assert_eq!(versions[0].pair_latency(reset, eoc), Some(2), "Reset->Eoc = 2");
+        let addr = prep.find_port("Address").unwrap();
+        assert_eq!(versions[0].pair_latency(num, addr), Some(2), "v1 NUM->A = 2");
+    }
+
+    #[test]
+    fn display_versions_match_fig8b_latencies() {
+        let disp = display_core();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&disp, &costs);
+        let versions = synthesize_versions(&disp, &hscan, &costs);
+        let d = disp.find_port("D").unwrap();
+        let a_lo = disp.find_port("ALo").unwrap();
+        let out_latency = |v: &socet_transparency::CoreVersion, input| {
+            (1..=6)
+                .filter_map(|k| v.pair_latency(input, disp.find_port(&format!("P{k}")).unwrap()))
+                .min()
+                .unwrap()
+        };
+        assert_eq!(out_latency(&versions[0], d), 2, "v1 D->OUT = 2");
+        assert_eq!(out_latency(&versions[0], a_lo), 3, "v1 A->OUT = 3");
+        assert_eq!(out_latency(&versions[1], a_lo), 1, "v2 A->OUT = 1");
+        assert_eq!(out_latency(&versions[2], d), 1, "v3 D->OUT = 1");
+    }
+
+    #[test]
+    fn system1_assembles() {
+        let soc = barcode_system();
+        assert_eq!(soc.cores().len(), 5);
+        assert_eq!(soc.logic_cores().len(), 3);
+        assert_eq!(soc.primary_inputs().len(), 2);
+        assert_eq!(soc.primary_outputs().len(), 6);
+        assert!(soc.find_core("CPU").is_some());
+        assert!(soc.core(soc.find_core("RAM").unwrap()).is_memory());
+    }
+
+    #[test]
+    fn versions_are_complete_for_all_system1_cores() {
+        let costs = DftCosts::default();
+        for core in [cpu_core(), preprocessor_core(), display_core()] {
+            let hscan = insert_hscan(&core, &costs);
+            for v in synthesize_versions(&core, &hscan, &costs) {
+                assert!(v.is_complete(&core), "{} {}", core.name(), v.name());
+            }
+        }
+    }
+}

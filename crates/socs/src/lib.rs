@@ -1,0 +1,32 @@
+//! The paper's example systems-on-chip, reconstructed as `socet-rtl`
+//! netlists.
+//!
+//! * [`barcode_system`] — **System 1**, the barcode-scanning embedded SOC
+//!   of Fig. 2: CPU (Fig. 3), PREPROCESSOR, DISPLAY plus BIST-tested RAM
+//!   and ROM. The individual cores are also exported ([`cpu_core`],
+//!   [`preprocessor_core`], [`display_core`], [`memory_core`]) so the
+//!   core-level experiments (Figs. 6 and 8) can run on them directly.
+//! * [`system2()`](system2::system2) — **System 2**: graphics processor \[9\] → GCD \[10\] → X.25
+//!   protocol core \[11\] pipeline.
+//!
+//! The models are calibrated to the paper's reported characteristics: the
+//! DISPLAY has 66 flip-flops, 20 internal input bits and HSCAN depth 4;
+//! the CPU reproduces Fig. 6's version ladder exactly (latencies 6/2 →
+//! 1/2 → 1/1 at 3/10/30 cells); the PREPROCESSOR carries the `(Reset,
+//! Eoc)` control chain used in §5.2's ΔTAT example.
+//!
+//! # Examples
+//!
+//! ```
+//! let soc = socet_socs::barcode_system();
+//! assert_eq!(soc.name(), "System1");
+//! assert_eq!(soc.logic_cores().len(), 3);
+//! ```
+
+pub mod barcode;
+pub mod synthetic;
+pub mod system2;
+
+pub use barcode::{barcode_system, cpu_core, display_core, memory_core, preprocessor_core};
+pub use synthetic::{generate_soc, SyntheticConfig};
+pub use system2::{gcd_core, graphics_core, system2, x25_core};

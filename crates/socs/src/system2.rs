@@ -1,0 +1,286 @@
+//! System 2 of the paper's evaluation: a graphics processor core \[9\], a
+//! GCD core from the 1995 high-level-synthesis repository \[10\], and an
+//! X.25 protocol core \[11\].
+//!
+//! The three cores form a pipeline — graphics feeds the GCD's second
+//! operand, the GCD result feeds the X.25 transmitter — so the two
+//! downstream cores are embedded and reachable only through their
+//! neighbours' transparency, like System 1's CPU and DISPLAY.
+
+use socet_rtl::{Core, CoreBuilder, Direction, RtlNode, Soc, SocBuilder};
+use std::sync::Arc;
+
+/// Builds the graphics-processor core (control-flow intensive, after
+/// Raghunathan et al. \[9\]).
+///
+/// Ports: `Cmd\[16\]`, `Go` in; `Pixel\[12\]`, `Done` out.
+pub fn graphics_core() -> Core {
+    let mut b = CoreBuilder::new("GRAPHICS");
+    let cmd = b.port("Cmd", Direction::In, 16).expect("fresh name");
+    let go = b.control_port("Go", Direction::In).expect("fresh name");
+    let pixel = b.port("Pixel", Direction::Out, 12).expect("fresh name");
+    let done = b
+        .port_with_class("Done", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("GRAPHICS wiring is statically consistent");
+    };
+
+    let cmd_r = b.register("CMD", 16).expect("fresh name");
+    let x = b.register("X", 12).expect("fresh name");
+    let y = b.register("Y", 12).expect("fresh name");
+    let color = b.register("COLOR", 12).expect("fresh name");
+    let out_r = b.register("OUT", 12).expect("fresh name");
+    ok(b.connect_mux(RtlNode::Port(cmd), RtlNode::Reg(cmd_r), 0));
+    ok(b.connect_mux_slice(
+        RtlNode::Reg(cmd_r),
+        socet_rtl::BitRange::new(0, 11),
+        RtlNode::Reg(x),
+        socet_rtl::BitRange::full(12),
+        0,
+    ));
+    ok(b.connect_mux(RtlNode::Reg(x), RtlNode::Reg(y), 0));
+    ok(b.connect_mux(RtlNode::Reg(y), RtlNode::Reg(color), 0));
+    ok(b.connect_mux(RtlNode::Reg(color), RtlNode::Reg(out_r), 0));
+    ok(b.connect_reg_to_port(out_r, pixel));
+    // Version-2 shortcut: the command bus can steer straight to the output
+    // register.
+    ok(b.connect_mux_slice(
+        RtlNode::Port(cmd),
+        socet_rtl::BitRange::new(0, 11),
+        RtlNode::Reg(out_r),
+        socet_rtl::BitRange::full(12),
+        1,
+    ));
+
+    // Control chain Go -> Done.
+    let g1 = b.register("G1", 1).expect("fresh name");
+    let g2 = b.register("G2", 1).expect("fresh name");
+    ok(b.connect_port_to_reg(go, g1));
+    ok(b.connect_reg_to_reg(g1, g2));
+    ok(b.connect_reg_to_port(g2, done));
+
+    // Frame-buffer line registers forked off COLOR, plus datapath logic.
+    let mut prev = color;
+    for k in 0..4 {
+        let fb = b.register(&format!("FB{k}"), 12).expect("fresh name");
+        ok(b.connect_mux(RtlNode::Reg(prev), RtlNode::Reg(fb), 1));
+        prev = fb;
+    }
+    let blend = b
+        .functional_unit("blend", socet_rtl::FuKind::Alu, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(x, blend));
+    ok(b.connect_reg_to_fu(y, blend));
+    ok(b.connect_mux(RtlNode::Fu(blend), RtlNode::Reg(color), 1));
+    let ctl = b
+        .functional_unit("gfx_ctl", socet_rtl::FuKind::Random { gates: 420 }, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(cmd_r, ctl));
+    ok(b.connect_mux(RtlNode::Fu(ctl), RtlNode::Reg(x), 1));
+
+    b.build().expect("GRAPHICS netlist is statically consistent")
+}
+
+/// Builds the GCD core (greatest common divisor, after the HLSynth'95
+/// repository \[10\]).
+///
+/// Ports: `X\[12\]`, `Y\[12\]`, `Start` in; `G\[12\]`, `Rdy` out.
+pub fn gcd_core() -> Core {
+    let mut b = CoreBuilder::new("GCD");
+    let x = b.port("X", Direction::In, 12).expect("fresh name");
+    let y = b.port("Y", Direction::In, 12).expect("fresh name");
+    let start = b.control_port("Start", Direction::In).expect("fresh name");
+    let g = b.port("G", Direction::Out, 12).expect("fresh name");
+    let rdy = b
+        .port_with_class("Rdy", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("GCD wiring is statically consistent");
+    };
+
+    let rx = b.register("RX", 12).expect("fresh name");
+    let ry = b.register("RY", 12).expect("fresh name");
+    let rg = b.register("RG", 12).expect("fresh name");
+    ok(b.connect_mux(RtlNode::Port(x), RtlNode::Reg(rx), 0));
+    ok(b.connect_mux(RtlNode::Port(y), RtlNode::Reg(ry), 0));
+    ok(b.connect_mux(RtlNode::Reg(rx), RtlNode::Reg(rg), 0));
+    ok(b.connect_mux(RtlNode::Reg(ry), RtlNode::Reg(rg), 1));
+    ok(b.connect_reg_to_port(rg, g));
+
+    let s1 = b.register("S1", 1).expect("fresh name");
+    ok(b.connect_port_to_reg(start, s1));
+    ok(b.connect_reg_to_port(s1, rdy));
+
+    // The subtract/compare loop.
+    let sub = b
+        .functional_unit("sub", socet_rtl::FuKind::Sub, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(rx, sub));
+    ok(b.connect_reg_to_fu(ry, sub));
+    ok(b.connect_mux(RtlNode::Fu(sub), RtlNode::Reg(rx), 1));
+    let cmp = b
+        .functional_unit("cmp", socet_rtl::FuKind::Cmp, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(rx, cmp));
+    ok(b.connect_reg_to_fu(ry, cmp));
+    ok(b.connect_mux(RtlNode::Fu(cmp), RtlNode::Reg(ry), 2));
+    let ctl = b
+        .functional_unit("gcd_ctl", socet_rtl::FuKind::Random { gates: 180 }, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(rg, ctl));
+    ok(b.connect_mux(RtlNode::Fu(ctl), RtlNode::Reg(rg), 2));
+
+    b.build().expect("GCD netlist is statically consistent")
+}
+
+/// Builds the X.25 protocol core (after Bhattacharya et al. \[11\]): a deep
+/// transmit buffer whose Version-1 transparency latency is the longest in
+/// System 2.
+///
+/// Ports: `RxD\[12\]`, `Ctl` in; `TxD\[12\]`, `Stat` out.
+pub fn x25_core() -> Core {
+    let mut b = CoreBuilder::new("X25");
+    let rxd = b.port("RxD", Direction::In, 12).expect("fresh name");
+    let ctl = b.control_port("Ctl", Direction::In).expect("fresh name");
+    let txd = b.port("TxD", Direction::Out, 12).expect("fresh name");
+    let stat = b
+        .port_with_class("Stat", Direction::Out, 1, socet_rtl::SignalClass::Control)
+        .expect("fresh name");
+    let ok = |r: Result<socet_rtl::ConnectionId, socet_rtl::RtlError>| {
+        r.expect("X25 wiring is statically consistent");
+    };
+
+    // Eight-deep packet buffer: RxD -> B0 -> ... -> B7 -> TxD.
+    let bufs: Vec<_> = (0..8)
+        .map(|k| b.register(&format!("B{k}"), 12).expect("fresh name"))
+        .collect();
+    ok(b.connect_mux(RtlNode::Port(rxd), RtlNode::Reg(bufs[0]), 0));
+    for w in bufs.windows(2) {
+        ok(b.connect_mux(RtlNode::Reg(w[0]), RtlNode::Reg(w[1]), 0));
+    }
+    ok(b.connect_reg_to_port(bufs[7], txd));
+    // Cut-through shortcut for Version 2.
+    ok(b.connect_mux(RtlNode::Port(rxd), RtlNode::Reg(bufs[7]), 1));
+
+    let c1 = b.register("C1", 1).expect("fresh name");
+    let c2 = b.register("C2", 1).expect("fresh name");
+    ok(b.connect_port_to_reg(ctl, c1));
+    ok(b.connect_reg_to_reg(c1, c2));
+    ok(b.connect_reg_to_port(c2, stat));
+
+    let crc = b
+        .functional_unit("crc", socet_rtl::FuKind::Random { gates: 260 }, 12)
+        .expect("fresh name");
+    ok(b.connect_reg_to_fu(bufs[0], crc));
+    ok(b.connect_mux(RtlNode::Fu(crc), RtlNode::Reg(bufs[3]), 1));
+
+    b.build().expect("X25 netlist is statically consistent")
+}
+
+/// Assembles System 2: `GRAPHICS → GCD → X25` with the graphics command
+/// bus and the GCD's first operand at chip pins.
+///
+/// # Examples
+///
+/// ```
+/// let soc = socet_socs::system2();
+/// assert_eq!(soc.logic_cores().len(), 3);
+/// ```
+pub fn system2() -> Soc {
+    let gfx = Arc::new(graphics_core());
+    let gcd = Arc::new(gcd_core());
+    let x25 = Arc::new(x25_core());
+
+    let mut sb = SocBuilder::new("System2");
+    let cmd = sb.input_pin("Cmd", 16).expect("fresh name");
+    let go = sb.input_pin("Go", 1).expect("fresh name");
+    let opx = sb.input_pin("OpX", 12).expect("fresh name");
+    let start = sb.input_pin("Start", 1).expect("fresh name");
+    let link_ctl = sb.input_pin("LinkCtl", 1).expect("fresh name");
+    let txd = sb.output_pin("TxD", 12).expect("fresh name");
+    let done = sb.output_pin("Done", 1).expect("fresh name");
+    let rdy = sb.output_pin("Rdy", 1).expect("fresh name");
+    let stat = sb.output_pin("Stat", 1).expect("fresh name");
+
+    let u_gfx = sb.instantiate("GRAPHICS", gfx.clone()).expect("fresh");
+    let u_gcd = sb.instantiate("GCD", gcd.clone()).expect("fresh");
+    let u_x25 = sb.instantiate("X25", x25.clone()).expect("fresh");
+
+    let find = |c: &Core, n: &str| c.find_port(n).expect("port exists");
+    let ok = |r: Result<(), socet_rtl::RtlError>| r.expect("System 2 wiring is consistent");
+
+    ok(sb.connect_pin_to_core(cmd, u_gfx, find(&gfx, "Cmd")));
+    ok(sb.connect_pin_to_core(go, u_gfx, find(&gfx, "Go")));
+    ok(sb.connect_pin_to_core(opx, u_gcd, find(&gcd, "X")));
+    ok(sb.connect_pin_to_core(start, u_gcd, find(&gcd, "Start")));
+    ok(sb.connect_pin_to_core(link_ctl, u_x25, find(&x25, "Ctl")));
+
+    // The pipeline: graphics pixels are the GCD's second operand, the GCD
+    // result is the X.25 payload.
+    ok(sb.connect_cores(u_gfx, find(&gfx, "Pixel"), u_gcd, find(&gcd, "Y")));
+    ok(sb.connect_cores(u_gcd, find(&gcd, "G"), u_x25, find(&x25, "RxD")));
+
+    ok(sb.connect_core_to_pin(u_x25, find(&x25, "TxD"), txd));
+    ok(sb.connect_core_to_pin(u_gfx, find(&gfx, "Done"), done));
+    ok(sb.connect_core_to_pin(u_gcd, find(&gcd, "Rdy"), rdy));
+    ok(sb.connect_core_to_pin(u_x25, find(&x25, "Stat"), stat));
+
+    sb.build().expect("System 2 is statically consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_cells::DftCosts;
+    use socet_hscan::insert_hscan;
+    use socet_transparency::synthesize_versions;
+
+    #[test]
+    fn system2_assembles() {
+        let soc = system2();
+        assert_eq!(soc.cores().len(), 3);
+        assert_eq!(soc.logic_cores().len(), 3);
+        assert_eq!(soc.primary_inputs().len(), 5);
+        assert_eq!(soc.primary_outputs().len(), 4);
+    }
+
+    #[test]
+    fn x25_buffer_dominates_v1_latency() {
+        let x25 = x25_core();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&x25, &costs);
+        let versions = synthesize_versions(&x25, &hscan, &costs);
+        let rxd = x25.find_port("RxD").unwrap();
+        let txd = x25.find_port("TxD").unwrap();
+        assert_eq!(versions[0].pair_latency(rxd, txd), Some(8), "8-deep buffer");
+        assert_eq!(versions[1].pair_latency(rxd, txd), Some(1), "cut-through");
+    }
+
+    #[test]
+    fn all_system2_versions_complete() {
+        let costs = DftCosts::default();
+        for core in [graphics_core(), gcd_core(), x25_core()] {
+            let hscan = insert_hscan(&core, &costs);
+            for v in synthesize_versions(&core, &hscan, &costs) {
+                assert!(v.is_complete(&core), "{} {}", core.name(), v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn graphics_ladder_is_monotone() {
+        let gfx = graphics_core();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&gfx, &costs);
+        let versions = synthesize_versions(&gfx, &hscan, &costs);
+        let cmd = gfx.find_port("Cmd").unwrap();
+        let pixel = gfx.find_port("Pixel").unwrap();
+        let lats: Vec<u32> = versions
+            .iter()
+            .map(|v| v.pair_latency(cmd, pixel).unwrap())
+            .collect();
+        assert!(lats.windows(2).all(|w| w[0] >= w[1]), "{lats:?}");
+        assert_eq!(*lats.last().unwrap(), 1);
+    }
+}

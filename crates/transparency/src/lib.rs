@@ -1,0 +1,67 @@
+//! Core transparency engine: register connectivity graphs, split-aware path
+//! search, and core-version synthesis (paper §4).
+//!
+//! A core is *transparent* when every output can be justified from inputs
+//! and every input propagated to outputs in a fixed number of cycles — the
+//! property SOCET uses to move embedded cores' test data through their
+//! neighbours. This crate derives transparency from structure alone:
+//!
+//! 1. [`Rcg::extract`] builds the register connectivity graph from a
+//!    [`Core`](socet_rtl::Core) and its HSCAN result;
+//! 2. [`forward_search`] / [`backward_search`] find propagation and
+//!    justification paths, branching at C-split/O-split nodes and balancing
+//!    unequal branches with freeze logic;
+//! 3. [`synthesize_versions`] produces the Version 1/2/3 ladder trading
+//!    transparency latency against area, exactly as Figs. 6 and 8 of the
+//!    paper tabulate for the CPU, PREPROCESSOR and DISPLAY cores.
+//!
+//! # Examples
+//!
+//! ```
+//! use socet_rtl::{CoreBuilder, Direction};
+//! use socet_hscan::insert_hscan;
+//! use socet_cells::DftCosts;
+//! use socet_transparency::synthesize_versions;
+//!
+//! let mut b = CoreBuilder::new("c");
+//! let i = b.port("i", Direction::In, 8)?;
+//! let o = b.port("o", Direction::Out, 8)?;
+//! let r = b.register("r", 8)?;
+//! b.connect_port_to_reg(i, r)?;
+//! b.connect_reg_to_port(r, o)?;
+//! let core = b.build()?;
+//! let hscan = insert_hscan(&core, &DftCosts::default());
+//! let versions = synthesize_versions(&core, &hscan, &DftCosts::default());
+//! assert!(versions.iter().all(|v| v.is_complete(&core)));
+//! # Ok::<(), socet_rtl::RtlError>(())
+//! ```
+
+pub mod rcg;
+pub mod search;
+pub mod version;
+
+pub use rcg::{EdgeId, Rcg, RcgEdge, RcgEdgeKind, RcgNode};
+pub use search::{backward_search, forward_search, PathFound};
+pub use version::{synthesize_versions, CoreVersion, TransparencyPath};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socet_cells::DftCosts;
+    use socet_hscan::insert_hscan;
+    use socet_rtl::{CoreBuilder, Direction};
+
+    #[test]
+    fn crate_doc_example() {
+        let mut b = CoreBuilder::new("c");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r = b.register("r", 8).unwrap();
+        b.connect_port_to_reg(i, r).unwrap();
+        b.connect_reg_to_port(r, o).unwrap();
+        let core = b.build().unwrap();
+        let hscan = insert_hscan(&core, &DftCosts::default());
+        let versions = synthesize_versions(&core, &hscan, &DftCosts::default());
+        assert!(versions.iter().all(|v| v.is_complete(&core)));
+    }
+}

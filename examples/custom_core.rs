@@ -1,0 +1,95 @@
+//! Making your own core transparent: the core provider's side of SOCET.
+//!
+//! Builds a DSP-flavoured core with bit-sliced registers (C-split and
+//! O-split nodes), inserts HSCAN, extracts the register connectivity graph,
+//! and walks the version ladder, printing every transparency path.
+//!
+//! Run with: `cargo run --example custom_core`
+
+use socet::cells::{CellLibrary, DftCosts};
+use socet::hscan::insert_hscan;
+use socet::rtl::{BitRange, CoreBuilder, Direction, FuKind, RtlNode};
+use socet::transparency::{synthesize_versions, Rcg};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A multiply-accumulate-ish core: two operand buses land in a packed
+    // coefficient register (C-split); the result register fans its halves
+    // out to two ports (O-split through the pack register).
+    let mut b = CoreBuilder::new("mac");
+    let coeff = b.port("coeff", Direction::In, 8)?;
+    let sample = b.port("sample", Direction::In, 8)?;
+    let start = b.control_port("start", Direction::In)?;
+    let hi = b.port("hi", Direction::Out, 8)?;
+    let lo = b.port("lo", Direction::Out, 8)?;
+    let busy = b.port_with_class("busy", Direction::Out, 1, socet::rtl::SignalClass::Control)?;
+
+    let pack = b.register("pack", 16)?;
+    let acc = b.register("acc", 16)?;
+    let c1 = b.register("c1", 1)?;
+    // C-split pack register: coefficient in the high byte, sample low.
+    b.connect_slice(
+        RtlNode::Port(sample),
+        BitRange::full(8),
+        RtlNode::Reg(pack),
+        BitRange::new(0, 7),
+    )?;
+    b.connect_slice(
+        RtlNode::Port(coeff),
+        BitRange::full(8),
+        RtlNode::Reg(pack),
+        BitRange::new(8, 15),
+    )?;
+    b.connect_mux(RtlNode::Reg(pack), RtlNode::Reg(acc), 0)?;
+    // O-split accumulator fanout: halves to separate ports.
+    b.connect_slice(
+        RtlNode::Reg(acc),
+        BitRange::new(8, 15),
+        RtlNode::Port(hi),
+        BitRange::full(8),
+    )?;
+    b.connect_slice(
+        RtlNode::Reg(acc),
+        BitRange::new(0, 7),
+        RtlNode::Port(lo),
+        BitRange::full(8),
+    )?;
+    b.connect_port_to_reg(start, c1)?;
+    b.connect_reg_to_port(c1, busy)?;
+    // The MAC unit itself (lossy, bypassed by transparency).
+    let mul = b.functional_unit("mul", FuKind::Alu, 16)?;
+    b.connect_reg_to_fu(pack, mul)?;
+    b.connect_mux(RtlNode::Fu(mul), RtlNode::Reg(acc), 1)?;
+    let core = b.build()?;
+
+    // Core-level DFT.
+    let costs = DftCosts::default();
+    let lib = CellLibrary::generic_08um();
+    let hscan = insert_hscan(&core, &costs);
+    println!("{core}");
+    println!("{hscan}");
+    for chain in hscan.chains() {
+        println!("  {chain}");
+    }
+
+    // The RCG the searches run on.
+    let rcg = Rcg::extract(&core, &hscan);
+    println!("\n{rcg}");
+
+    // The version ladder.
+    let versions = synthesize_versions(&core, &hscan, &costs);
+    for v in &versions {
+        println!("{} ({} cells):", v.name(), v.overhead_cells(&lib));
+        for p in v.paths() {
+            let ins: Vec<&str> = p.inputs.iter().map(|i| core.port(*i).name()).collect();
+            let outs: Vec<&str> = p.outputs.iter().map(|o| core.port(*o).name()).collect();
+            println!(
+                "  {} -> {} in {} cycle(s)",
+                ins.join("+"),
+                outs.join("+"),
+                p.latency
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: make a two-core SOC testable with SOCET in ~60 lines.
+//!
+//! Build two small cores, wire them into a chip where the second core is
+//! embedded (no direct pin access), run the core-level flow, and let the
+//! chip-level planner route every test through the neighbours'
+//! transparency.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use socet::atpg::TpgConfig;
+use socet::cells::{CellLibrary, DftCosts};
+use socet::core::{Explorer, Objective};
+use socet::flow::prepare_soc;
+use socet::rtl::{CoreBuilder, Direction, SocBuilder};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A small filter core: an input register, a working register, an
+    // output register.
+    let mut cb = CoreBuilder::new("filter");
+    let din = cb.port("din", Direction::In, 8)?;
+    let dout = cb.port("dout", Direction::Out, 8)?;
+    let r_in = cb.register("r_in", 8)?;
+    let r_mid = cb.register("r_mid", 8)?;
+    let r_out = cb.register("r_out", 8)?;
+    cb.connect_port_to_reg(din, r_in)?;
+    cb.connect_reg_to_reg(r_in, r_mid)?;
+    cb.connect_reg_to_reg(r_mid, r_out)?;
+    cb.connect_reg_to_port(r_out, dout)?;
+    let filter = Arc::new(cb.build()?);
+
+    // The chip: PI -> stage0 -> stage1 -> PO. stage1 is embedded.
+    let mut sb = SocBuilder::new("quickchip");
+    let pi = sb.input_pin("pi", 8)?;
+    let po = sb.output_pin("po", 8)?;
+    let u0 = sb.instantiate("stage0", filter.clone())?;
+    let u1 = sb.instantiate("stage1", filter.clone())?;
+    sb.connect_pin_to_core(pi, u0, din)?;
+    sb.connect_cores(u0, dout, u1, din)?;
+    sb.connect_core_to_pin(u1, dout, po)?;
+    let soc = sb.build()?;
+
+    // Core-level flow: HSCAN + transparency versions + ATPG.
+    let costs = DftCosts::default();
+    let prepared = prepare_soc(&soc, &costs, &TpgConfig::default())?;
+    let lib = CellLibrary::generic_08um();
+    println!("chip `{}`:", soc.name());
+    println!("  original area     : {} cells", prepared.original_area_cells(&lib));
+    println!("  HSCAN overhead    : {} cells", prepared.hscan_overhead_cells(&lib));
+    println!("  fault coverage    : {}", prepared.aggregate_coverage());
+
+    // Chip-level planning: minimize test time under a generous budget.
+    let explorer = Explorer::new(&soc, &prepared.data, costs);
+    let plan = explorer.optimize(Objective::MinTatUnderArea {
+        max_overhead_cells: 1_000,
+    });
+    println!("  chosen versions   : {:?}", plan.choice);
+    println!("  chip-level DFT    : {} cells", plan.overhead_cells(&lib));
+    println!("  test time         : {} cycles", plan.test_application_time());
+    for ep in &plan.episodes {
+        println!("    {ep}");
+    }
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! `soctool` — command-line front end for the SOCET flow.
+//!
+//! ```text
+//! soctool systems                      list the built-in systems
+//! soctool report <system> [choice]     full test-plan report (e.g. choice 0,1,2)
+//! soctool sweep <system>               design-space table + Pareto front
+//! soctool dot-rcg <system> <core>      Graphviz of a core's RCG
+//! soctool dot-ccg <system> [choice]    Graphviz of the chip's CCG (Fig. 9)
+//! soctool bist <system>                memory BIST plans
+//! ```
+//!
+//! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
+//! for an n-core generated SOC.
+
+use socet::bist::plan_memory_bist;
+use socet::cells::{CellLibrary, DftCosts};
+use socet::core::{parallelize, pareto_front, render_plan, schedule, Ccg, CoreTestData, Explorer};
+use socet::hscan::insert_hscan;
+use socet::rtl::Soc;
+use socet::socs::{barcode_system, generate_soc, system2, SyntheticConfig};
+use socet::transparency::{synthesize_versions, Rcg};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: soctool <command> [args]\n\
+         commands:\n\
+           systems\n\
+           report  <system> [choice]\n\
+           sweep   <system>\n\
+           dot-rcg <system> <core-name>\n\
+           dot-ccg <system> [choice]\n\
+           bist    <system>\n\
+         systems: system1 | system2 | synthetic:<cores>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_system(name: &str) -> Option<Soc> {
+    match name {
+        "system1" => Some(barcode_system()),
+        "system2" => Some(system2()),
+        other => {
+            let n: usize = other.strip_prefix("synthetic:")?.parse().ok()?;
+            Some(generate_soc(&SyntheticConfig {
+                cores: n,
+                ..SyntheticConfig::default()
+            }))
+        }
+    }
+}
+
+fn prepare(soc: &Soc, vectors: usize) -> Vec<Option<CoreTestData>> {
+    let costs = DftCosts::default();
+    soc.cores()
+        .iter()
+        .map(|inst| {
+            if inst.is_memory() {
+                return None;
+            }
+            let hscan = insert_hscan(inst.core(), &costs);
+            let versions = synthesize_versions(inst.core(), &hscan, &costs);
+            Some(CoreTestData {
+                versions,
+                hscan,
+                scan_vectors: vectors,
+            })
+        })
+        .collect()
+}
+
+fn parse_choice(soc: &Soc, arg: Option<&str>) -> Option<Vec<usize>> {
+    match arg {
+        None => Some(vec![0; soc.cores().len()]),
+        Some(s) => {
+            let parts: Result<Vec<usize>, _> = s.split(',').map(str::parse).collect();
+            let mut v = parts.ok()?;
+            v.resize(soc.cores().len(), 0);
+            Some(v)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    if cmd == "systems" {
+        println!("system1      the paper's barcode SOC (CPU, PREPROCESSOR, DISPLAY, RAM, ROM)");
+        println!("system2      graphics -> GCD -> X.25 pipeline");
+        println!("synthetic:N  generated N-core backbone-with-taps SOC");
+        return ExitCode::SUCCESS;
+    }
+    let Some(system_name) = args.get(1) else {
+        return usage();
+    };
+    let Some(soc) = load_system(system_name) else {
+        eprintln!("unknown system `{system_name}`");
+        return usage();
+    };
+    let costs = DftCosts::default();
+    let lib = CellLibrary::generic_08um();
+    match cmd {
+        "report" => {
+            let data = prepare(&soc, 105);
+            let Some(choice) = parse_choice(&soc, args.get(2).map(String::as_str)) else {
+                return usage();
+            };
+            let plan = schedule(&soc, &data, &choice, &costs);
+            print!("{}", render_plan(&soc, &data, &plan));
+            let par = parallelize(&soc, &plan);
+            println!("\nparallel extension: {par}");
+            match socet::core::build_controller(&soc, &plan) {
+                Ok(ctrl) => println!(
+                    "test controller : {} cells ({}-bit counter, {} windows)",
+                    ctrl.area_cells(&lib),
+                    ctrl.counter_bits,
+                    ctrl.windows.len()
+                ),
+                Err(e) => println!("test controller : synthesis failed ({e})"),
+            }
+        }
+        "sweep" => {
+            let data = prepare(&soc, 105);
+            let explorer = Explorer::new(&soc, &data, costs);
+            let points = explorer.sweep();
+            println!("{:>10} {:>12}  choice", "ovhd", "TAT");
+            let mut sorted: Vec<_> = points.iter().collect();
+            sorted.sort_by_key(|p| (p.overhead_cells(&lib), p.test_application_time()));
+            for p in &sorted {
+                println!(
+                    "{:>10} {:>12}  {:?}",
+                    p.overhead_cells(&lib),
+                    p.test_application_time(),
+                    p.choice
+                );
+            }
+            println!("\npareto front:");
+            for p in pareto_front(&points) {
+                println!(
+                    "{:>10} {:>12}  {:?}",
+                    p.overhead_cells(&lib),
+                    p.test_application_time(),
+                    p.choice
+                );
+            }
+        }
+        "dot-rcg" => {
+            let Some(core_name) = args.get(2) else {
+                return usage();
+            };
+            let Some(cid) = soc.find_core(core_name) else {
+                eprintln!("unknown core `{core_name}`");
+                return ExitCode::from(2);
+            };
+            let core = soc.core(cid).core();
+            let hscan = insert_hscan(core, &costs);
+            let rcg = Rcg::extract(core, &hscan);
+            print!("{}", rcg.to_dot(core));
+        }
+        "dot-ccg" => {
+            let data = prepare(&soc, 105);
+            let Some(choice) = parse_choice(&soc, args.get(2).map(String::as_str)) else {
+                return usage();
+            };
+            let ccg = Ccg::build(&soc, &data, &choice);
+            print!("{}", ccg.to_dot(&soc));
+        }
+        "bist" => {
+            let plans = plan_memory_bist(&soc);
+            if plans.is_empty() {
+                println!("no memory cores in {}", soc.name());
+            }
+            for p in &plans {
+                println!(
+                    "{:<8} {:>2}-bit LFSR + {:>2}-bit MISR, {:>6} cells, {:>8} cycles",
+                    soc.core(p.core).name(),
+                    p.addr_width,
+                    p.data_width,
+                    p.overhead_cells(&lib),
+                    p.test_cycles()
+                );
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,189 @@
+//! The end-to-end SOCET flow: core-level DFT + test generation, then
+//! chip-level planning inputs.
+//!
+//! This is the "first part" of the paper's two-part methodology — the
+//! one-time, per-core work the core provider (hard/firm cores) or the user
+//! (soft cores) performs: HSCAN insertion, transparency version synthesis,
+//! gate-level elaboration and combinational ATPG. Its output,
+//! [`PreparedSoc`], feeds the chip-level
+//! [`Explorer`](socet_core::Explorer) directly.
+
+use socet_atpg::{generate_tests, Coverage, TestSet, TpgConfig};
+use socet_cells::{CellLibrary, DftCosts};
+use socet_core::CoreTestData;
+use socet_gate::{elaborate, GateError, GateNetlist};
+use socet_hscan::insert_hscan;
+use socet_rtl::{Core, Soc};
+use socet_transparency::synthesize_versions;
+
+/// Per-core artifacts of the SOCET core-level flow for a whole SOC.
+#[derive(Debug)]
+pub struct PreparedSoc {
+    /// Chip-level planning inputs, indexed by core instance (`None` for
+    /// memory cores).
+    pub data: Vec<Option<CoreTestData>>,
+    /// Elaborated gate netlists of the logic cores.
+    pub netlists: Vec<Option<GateNetlist>>,
+    /// Generated per-core test sets (the precomputed test sequences the
+    /// paper assumes each core ships with).
+    pub tests: Vec<Option<TestSet>>,
+}
+
+impl PreparedSoc {
+    /// Merged fault accounting over every logic core: the chip's fault
+    /// coverage when every core receives its precomputed test set (SOCET
+    /// and FSCAN-BSCAN both achieve this, Table 3).
+    pub fn aggregate_coverage(&self) -> Coverage {
+        self.tests
+            .iter()
+            .flatten()
+            .fold(Coverage::default(), |acc, t| acc.merge(&t.coverage))
+    }
+
+    /// Original (pre-DFT) chip area in cells: the sum of the logic cores'
+    /// elaborated netlists.
+    pub fn original_area_cells(&self, lib: &CellLibrary) -> u64 {
+        self.netlists
+            .iter()
+            .flatten()
+            .map(|nl| nl.area().cells(lib))
+            .sum()
+    }
+
+    /// Total HSCAN (core-level DFT) overhead in cells.
+    pub fn hscan_overhead_cells(&self, lib: &CellLibrary) -> u64 {
+        self.data
+            .iter()
+            .flatten()
+            .map(|d| d.hscan.overhead_cells(lib))
+            .sum()
+    }
+
+    /// Full-scan vector count per core instance (0 for memory cores), the
+    /// input the FSCAN-BSCAN baseline needs.
+    pub fn vectors(&self) -> Vec<u64> {
+        self.tests
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.vector_count() as u64).unwrap_or(0))
+            .collect()
+    }
+
+    /// HSCAN chain depth per core instance (0 for memory cores), the input
+    /// the test-bus baseline needs.
+    pub fn depths(&self) -> Vec<u64> {
+        self.data
+            .iter()
+            .map(|d| {
+                d.as_ref()
+                    .map(|d| d.hscan.sequential_depth() as u64)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Runs the core-level flow on one core: HSCAN, version synthesis,
+/// elaboration, ATPG.
+///
+/// # Errors
+///
+/// Propagates [`GateError`] from elaboration (pathological cores only).
+///
+/// # Examples
+///
+/// ```
+/// use socet::flow::prepare_core;
+/// use socet::cells::DftCosts;
+/// use socet::atpg::TpgConfig;
+/// let core = socet::socs::gcd_core();
+/// let (data, _netlist, tests) = prepare_core(&core, &DftCosts::default(), &TpgConfig::default())?;
+/// assert_eq!(data.versions.len(), 3);
+/// assert!(tests.coverage.fault_coverage() > 50.0);
+/// # Ok::<(), socet::gate::GateError>(())
+/// ```
+pub fn prepare_core(
+    core: &Core,
+    costs: &DftCosts,
+    tpg: &TpgConfig,
+) -> Result<(CoreTestData, GateNetlist, TestSet), GateError> {
+    let hscan = insert_hscan(core, costs);
+    let versions = synthesize_versions(core, &hscan, costs);
+    let elab = elaborate(core)?;
+    let tests = generate_tests(&elab.netlist, tpg);
+    let data = CoreTestData {
+        versions,
+        hscan,
+        scan_vectors: tests.vector_count(),
+    };
+    Ok((data, elab.netlist, tests))
+}
+
+/// Runs [`prepare_core`] on every logic core of `soc`.
+///
+/// # Errors
+///
+/// Propagates the first elaboration failure.
+pub fn prepare_soc(
+    soc: &Soc,
+    costs: &DftCosts,
+    tpg: &TpgConfig,
+) -> Result<PreparedSoc, GateError> {
+    let n = soc.cores().len();
+    let mut data = Vec::with_capacity(n);
+    let mut netlists = Vec::with_capacity(n);
+    let mut tests = Vec::with_capacity(n);
+    for inst in soc.cores() {
+        if inst.is_memory() {
+            data.push(None);
+            netlists.push(None);
+            tests.push(None);
+            continue;
+        }
+        let (d, nl, t) = prepare_core(inst.core(), costs, tpg)?;
+        data.push(Some(d));
+        netlists.push(Some(nl));
+        tests.push(Some(t));
+    }
+    Ok(PreparedSoc {
+        data,
+        netlists,
+        tests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_core_prepares_cleanly() {
+        let core = socet_socs::gcd_core();
+        let tpg = TpgConfig {
+            random_patterns: 32,
+            max_backtracks: 128,
+            ..TpgConfig::default()
+        };
+        let (data, nl, tests) = prepare_core(&core, &DftCosts::default(), &tpg).unwrap();
+        assert_eq!(data.versions.len(), 3);
+        assert!(nl.flip_flop_count() > 0);
+        assert!(tests.coverage.fault_coverage() > 60.0, "{}", tests.coverage);
+        assert_eq!(data.scan_vectors, tests.vector_count());
+    }
+
+    #[test]
+    fn prepared_system2_has_all_logic_cores() {
+        let soc = socet_socs::system2();
+        let tpg = TpgConfig {
+            random_patterns: 16,
+            max_backtracks: 32,
+            ..TpgConfig::default()
+        };
+        let prepared = prepare_soc(&soc, &DftCosts::default(), &tpg).unwrap();
+        assert_eq!(prepared.data.iter().flatten().count(), 3);
+        assert!(prepared.aggregate_coverage().total > 0);
+        let lib = CellLibrary::generic_08um();
+        assert!(prepared.original_area_cells(&lib) > 500);
+        assert!(prepared.hscan_overhead_cells(&lib) > 0);
+        assert_eq!(prepared.vectors().len(), 3);
+    }
+}
