@@ -99,8 +99,18 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = Coverage { total: 10, detected: 9, untestable: 1, aborted: 0 };
-        let b = Coverage { total: 20, detected: 15, untestable: 0, aborted: 5 };
+        let a = Coverage {
+            total: 10,
+            detected: 9,
+            untestable: 1,
+            aborted: 0,
+        };
+        let b = Coverage {
+            total: 20,
+            detected: 15,
+            untestable: 0,
+            aborted: 5,
+        };
         let m = a.merge(&b);
         assert_eq!(m.total, 30);
         assert_eq!(m.detected, 24);
@@ -110,7 +120,12 @@ mod tests {
 
     #[test]
     fn display_has_percentages() {
-        let c = Coverage { total: 4, detected: 4, untestable: 0, aborted: 0 };
+        let c = Coverage {
+            total: 4,
+            detected: 4,
+            untestable: 0,
+            aborted: 0,
+        };
         assert!(c.to_string().contains("FC 100.0%"));
     }
 }

@@ -90,9 +90,9 @@ impl<'a> FaultSim<'a> {
                     continue;
                 }
                 let bad = sim.eval(&pi, &ff, Some((fault.signal, fault.stuck_at_one)));
-                let hit = pos.iter().any(|s| {
-                    (good[s.index()] ^ bad[s.index()]) & used != 0
-                });
+                let hit = pos
+                    .iter()
+                    .any(|s| (good[s.index()] ^ bad[s.index()]) & used != 0);
                 if hit {
                     det[fi] = true;
                 }

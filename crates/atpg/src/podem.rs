@@ -322,9 +322,14 @@ impl<'a> Podem<'a> {
                 GateKind::Buf => {
                     sig = g.operands()[0];
                 }
-                GateKind::And2 | GateKind::Nand2 | GateKind::Or2 | GateKind::Nor2
-                | GateKind::Xor2 | GateKind::Xnor2 => {
-                    let invert = matches!(g.kind, GateKind::Nand2 | GateKind::Nor2 | GateKind::Xnor2);
+                GateKind::And2
+                | GateKind::Nand2
+                | GateKind::Or2
+                | GateKind::Nor2
+                | GateKind::Xor2
+                | GateKind::Xnor2 => {
+                    let invert =
+                        matches!(g.kind, GateKind::Nand2 | GateKind::Nor2 | GateKind::Xnor2);
                     let inner = if invert { !val } else { val };
                     let ops = g.operands();
                     // Pick the first X input.
@@ -460,9 +465,8 @@ mod tests {
     fn verify_test(nl: &GateNetlist, fault: Fault, vec: &[Tri]) {
         let sim = CombSim::new(nl);
         // Fill Xs with 0 and with 1; at least the definite bits matter.
-        let fill = |x: bool| -> Vec<bool> {
-            vec.iter().map(|t| t.to_bool().unwrap_or(x)).collect()
-        };
+        let fill =
+            |x: bool| -> Vec<bool> { vec.iter().map(|t| t.to_bool().unwrap_or(x)).collect() };
         for filler in [false, true] {
             let pattern = fill(filler);
             let (pi, ff) = pattern.split_at(nl.inputs().len());

@@ -47,8 +47,14 @@ impl P3 {
 
     fn splat(t: Tri) -> P3 {
         match t {
-            Tri::One => P3 { d1: u64::MAX, d0: 0 },
-            Tri::Zero => P3 { d1: 0, d0: u64::MAX },
+            Tri::One => P3 {
+                d1: u64::MAX,
+                d0: 0,
+            },
+            Tri::Zero => P3 {
+                d1: 0,
+                d0: u64::MAX,
+            },
             Tri::X => P3::X,
         }
     }
@@ -123,10 +129,7 @@ impl<'a> SeqFaultSim<'a> {
             Tri::Zero => SeqSim::new_reset(self.nl),
             _ => SeqSim::new(self.nl),
         };
-        let good_outputs: Vec<Vec<Tri>> = vectors
-            .iter()
-            .map(|v| good_sim.step(v, None))
-            .collect();
+        let good_outputs: Vec<Vec<Tri>> = vectors.iter().map(|v| good_sim.step(v, None)).collect();
 
         let mut detected = vec![false; faults.len()];
         for (block_idx, block) in faults.chunks(64).enumerate() {
@@ -194,11 +197,9 @@ impl<'a> SeqFaultSim<'a> {
                     GateKind::Nor2 => v[ops[0].index()].or(v[ops[1].index()]).not(),
                     GateKind::Xor2 => v[ops[0].index()].xor(v[ops[1].index()]),
                     GateKind::Xnor2 => v[ops[0].index()].xor(v[ops[1].index()]).not(),
-                    GateKind::Mux2 => P3::mux(
-                        v[ops[0].index()],
-                        v[ops[1].index()],
-                        v[ops[2].index()],
-                    ),
+                    GateKind::Mux2 => {
+                        P3::mux(v[ops[0].index()], v[ops[1].index()], v[ops[2].index()])
+                    }
                     _ => unreachable!("topo order holds only combinational gates"),
                 };
                 v[s.index()] = val.inject(m1[s.index()], m0[s.index()]);
@@ -217,7 +218,9 @@ impl<'a> SeqFaultSim<'a> {
                 state[i] = v[d.index()].inject(m1[q.index()], m0[q.index()]);
             }
         }
-        (0..block.len()).map(|k| detected_lanes >> k & 1 != 0).collect()
+        (0..block.len())
+            .map(|k| detected_lanes >> k & 1 != 0)
+            .collect()
     }
 }
 
@@ -260,8 +263,16 @@ mod tests {
         let mut vectors = vec![vec![Tri::One]; 5];
         vectors.extend(vec![vec![Tri::Zero]; 6]);
         let det = sim.run(&faults, &vectors);
-        assert!(det.iter().all(|&d| d), "undetected: {:?}",
-            faults.iter().zip(&det).filter(|(_, &d)| !d).map(|(f, _)| *f).collect::<Vec<_>>());
+        assert!(
+            det.iter().all(|&d| d),
+            "undetected: {:?}",
+            faults
+                .iter()
+                .zip(&det)
+                .filter(|(_, &d)| !d)
+                .map(|(f, _)| *f)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -159,11 +159,7 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
 pub fn random_sequence(inputs: usize, cycles: usize, seed: u64) -> Vec<Vec<Tri>> {
     let mut rng = XorShift64::new(seed);
     (0..cycles)
-        .map(|_| {
-            (0..inputs)
-                .map(|_| Tri::from_bool(rng.bit()))
-                .collect()
-        })
+        .map(|_| (0..inputs).map(|_| Tri::from_bool(rng.bit())).collect())
         .collect()
 }
 
@@ -180,9 +176,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: seed.max(1),
-        }
+        XorShift64 { state: seed.max(1) }
     }
 
     fn next(&mut self) -> u64 {
@@ -230,7 +224,12 @@ mod tests {
     fn adder_reaches_full_efficiency() {
         let nl = adder4();
         let tests = generate_tests(&nl, &TpgConfig::default());
-        assert_eq!(tests.coverage.test_efficiency(), 100.0, "{}", tests.coverage);
+        assert_eq!(
+            tests.coverage.test_efficiency(),
+            100.0,
+            "{}",
+            tests.coverage
+        );
         assert_eq!(tests.coverage.aborted, 0);
         // Every pattern assigns all 8 inputs.
         assert!(tests.patterns.iter().all(|p| p.len() == 8));

@@ -10,7 +10,9 @@
 //! or from them dangle, and core inputs that end up driverless are tied to
 //! constant 0.
 
-use socet_gate::{elaborate_with, ElabOptions, GateError, GateNetlist, GateNetlistBuilder, SignalId};
+use socet_gate::{
+    elaborate_with, ElabOptions, GateError, GateNetlist, GateNetlistBuilder, SignalId,
+};
 use socet_rtl::{Soc, SocEndpoint};
 use std::collections::HashMap;
 
@@ -81,8 +83,7 @@ pub fn flatten_soc(soc: &Soc) -> Result<GateNetlist, GateError> {
         let core = inst.core();
         let elab = elaborate_with(core, &ElabOptions { load_enables: true })?;
         let map = b.append(&elab.netlist, inst.name());
-        let mut port_inputs: std::collections::HashSet<SignalId> =
-            std::collections::HashSet::new();
+        let mut port_inputs: std::collections::HashSet<SignalId> = std::collections::HashSet::new();
         for (pi_idx, sigs) in elab.input_bits.iter().enumerate() {
             for (bit, s) in sigs.iter().enumerate() {
                 in_bits.insert((cid.index(), pi_idx, bit as u16), map[s.index()]);
@@ -202,7 +203,7 @@ pub fn flatten_soc(soc: &Soc) -> Result<GateNetlist, GateError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use socet_gate::{CombSim, Tri, SeqSim};
+    use socet_gate::{CombSim, SeqSim, Tri};
     use socet_rtl::{CoreBuilder, Direction, SocBuilder};
     use std::sync::Arc;
 
@@ -247,7 +248,11 @@ mod tests {
         // enable tie-off, so a value still crosses the three cores in three
         // clocks.
         let mut sim = SeqSim::new(&flat);
-        let vec_of = |v: u8| (0..4).map(|k| Tri::from_bool(v >> k & 1 != 0)).collect::<Vec<_>>();
+        let vec_of = |v: u8| {
+            (0..4)
+                .map(|k| Tri::from_bool(v >> k & 1 != 0))
+                .collect::<Vec<_>>()
+        };
         sim.step(&vec_of(0b1010), None);
         sim.step(&vec_of(0), None);
         sim.step(&vec_of(0), None);

@@ -77,10 +77,7 @@ impl FscanBscanReport {
             let core: &Core = soc.core(cid).core();
             let ffs = core.flip_flop_count();
             let boundary = core.input_bits();
-            fscan_area.tally(
-                CellKind::ScanDff,
-                u64::from(ffs) * costs.fscan_per_ff,
-            );
+            fscan_area.tally(CellKind::ScanDff, u64::from(ffs) * costs.fscan_per_ff);
             // One boundary-scan cell per port bit; its area comes from the
             // cell library (3 cells under the generic .8µm table).
             let _ = costs;
@@ -233,7 +230,8 @@ mod tests {
         let ram = sb.instantiate_memory("ram", core.clone()).unwrap();
         sb.connect_pin_to_core(pi, u, a).unwrap();
         sb.connect_core_to_pin(u, o, po).unwrap();
-        sb.connect_cores(u, o, ram, core.find_port("d").unwrap()).unwrap();
+        sb.connect_cores(u, o, ram, core.find_port("d").unwrap())
+            .unwrap();
         let soc = sb.build().unwrap();
         let report = FscanBscanReport::evaluate(&soc, &[105, 999], &DftCosts::default());
         assert_eq!(report.cores.len(), 1);

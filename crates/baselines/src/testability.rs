@@ -2,8 +2,8 @@
 //! un-DFT'd chip, the HSCAN-only chip, and the full per-core ATPG coverage
 //! that scan-accessible methods reach.
 
-use socet_atpg::{fault_list, generate_tests, Coverage, SeqFaultSim, TestSet, TpgConfig};
 use socet_atpg::tpg::random_sequence;
+use socet_atpg::{fault_list, generate_tests, Coverage, SeqFaultSim, TestSet, TpgConfig};
 use socet_gate::GateNetlist;
 use socet_rtl::{Soc, SocEndpoint};
 
@@ -53,10 +53,7 @@ pub fn hscan_only_coverage(
         if !core_fully_at_pins(soc, cid) {
             continue;
         }
-        if let Some(tests) = per_core_tests
-            .get(cid.index())
-            .and_then(|t| t.as_ref())
-        {
+        if let Some(tests) = per_core_tests.get(cid.index()).and_then(|t| t.as_ref()) {
             extra += tests.coverage.detected;
         }
     }
@@ -123,9 +120,7 @@ mod tests {
         let o = b.port("o", Direction::Out, 4).unwrap();
         let r1 = b.register("r1", 4).unwrap();
         let r2 = b.register("r2", 4).unwrap();
-        let fu = b
-            .functional_unit("alu", socet_rtl::FuKind::Add, 4)
-            .unwrap();
+        let fu = b.functional_unit("alu", socet_rtl::FuKind::Add, 4).unwrap();
         b.connect_port_to_reg(i, r1).unwrap();
         b.connect_through_fu(r1, fu, r2).unwrap();
         b.connect_reg_to_port(r2, o).unwrap();

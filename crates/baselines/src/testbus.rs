@@ -23,12 +23,7 @@ pub struct TestBusReport {
 impl TestBusReport {
     /// Evaluates the test-bus architecture. `vectors[i]` and `depth[i]` are
     /// the full-scan vector count and HSCAN chain depth of core `i`.
-    pub fn evaluate(
-        soc: &Soc,
-        vectors: &[u64],
-        depths: &[u64],
-        costs: &DftCosts,
-    ) -> TestBusReport {
+    pub fn evaluate(soc: &Soc, vectors: &[u64], depths: &[u64], costs: &DftCosts) -> TestBusReport {
         let mut cores = Vec::new();
         let mut mux_area = AreaReport::new();
         for cid in soc.logic_cores() {
@@ -90,8 +85,10 @@ mod tests {
         let pi = sb.input_pin("pi", 8).unwrap();
         let po = sb.output_pin("po", 8).unwrap();
         let u = sb.instantiate("u", core.clone()).unwrap();
-        sb.connect_pin_to_core(pi, u, core.find_port("i").unwrap()).unwrap();
-        sb.connect_core_to_pin(u, core.find_port("o").unwrap(), po).unwrap();
+        sb.connect_pin_to_core(pi, u, core.find_port("i").unwrap())
+            .unwrap();
+        sb.connect_core_to_pin(u, core.find_port("o").unwrap(), po)
+            .unwrap();
         sb.build().unwrap()
     }
 

@@ -14,7 +14,9 @@ fn bench_atpg(c: &mut Criterion) {
     group.bench_function("elaborate/gcd", |b| b.iter(|| elaborate(&gcd).unwrap()));
     let nl = elaborate(&gcd).unwrap().netlist;
     let cfg = TpgConfig::default();
-    group.bench_function("generate_tests/gcd", |b| b.iter(|| generate_tests(&nl, &cfg)));
+    group.bench_function("generate_tests/gcd", |b| {
+        b.iter(|| generate_tests(&nl, &cfg))
+    });
 
     let prep = preprocessor_core();
     let pnl = elaborate(&prep).unwrap().netlist;

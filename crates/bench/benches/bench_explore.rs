@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use socet_cells::DftCosts;
-use socet_core::{CoreTestData, Explorer, Objective};
+use socet_core::{CoreTestData, Explorer, Objective, Scheduler};
 use socet_hscan::insert_hscan;
 use socet_socs::barcode_system;
 use socet_transparency::synthesize_versions;
@@ -20,7 +20,11 @@ fn bench_explore(c: &mut Criterion) {
             }
             let hscan = insert_hscan(inst.core(), &costs);
             let versions = synthesize_versions(inst.core(), &hscan, &costs);
-            Some(CoreTestData { versions, hscan, scan_vectors: 105 })
+            Some(CoreTestData {
+                versions,
+                hscan,
+                scan_vectors: 105,
+            })
         })
         .collect();
     let explorer = Explorer::new(&soc, &data, costs);
@@ -29,11 +33,42 @@ fn bench_explore(c: &mut Criterion) {
     group.bench_function("sweep/system1", |b| b.iter(|| explorer.sweep()));
     group.bench_function("objective1/system1", |b| {
         b.iter(|| {
-            explorer.optimize(Objective::MinTatUnderArea { max_overhead_cells: u64::MAX })
+            explorer.optimize(Objective::MinTatUnderArea {
+                max_overhead_cells: u64::MAX,
+            })
         })
     });
     group.bench_function("objective2/system1", |b| {
-        b.iter(|| explorer.optimize(Objective::MinAreaUnderTat { max_tat_cycles: 5_000 }))
+        b.iter(|| {
+            explorer.optimize(Objective::MinAreaUnderTat {
+                max_tat_cycles: 5_000,
+            })
+        })
+    });
+    // Incremental-vs-full ablation of the evaluation engine: one design
+    // point per iteration, either through a cold engine (full CCG build,
+    // fresh scratch) or a warm one stepping a single core's version.
+    let choice_a = vec![0usize; soc.cores().len()];
+    let mut choice_b = choice_a.clone();
+    choice_b[0] = 1;
+    group.bench_function("evaluate_full/system1", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let c = if flip { &choice_b } else { &choice_a };
+            Scheduler::new(&soc, &data, &DftCosts::default())
+                .evaluate(c)
+                .expect("valid choice")
+        })
+    });
+    group.bench_function("evaluate_incremental/system1", |b| {
+        let mut engine = Scheduler::new(&soc, &data, &DftCosts::default());
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let c = if flip { &choice_b } else { &choice_a };
+            engine.evaluate(c).expect("valid choice")
+        })
     });
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use socet_cells::DftCosts;
-use socet_core::{schedule, CoreTestData};
+use socet_core::{schedule, CoreTestData, Scheduler};
 use socet_hscan::insert_hscan;
 use socet_socs::{generate_soc, SyntheticConfig};
 use socet_transparency::synthesize_versions;
@@ -25,14 +25,33 @@ fn bench_scaling(c: &mut Criterion) {
             .map(|inst| {
                 let hscan = insert_hscan(inst.core(), &costs);
                 let versions = synthesize_versions(inst.core(), &hscan, &costs);
-                Some(CoreTestData { versions, hscan, scan_vectors: 50 })
+                Some(CoreTestData {
+                    versions,
+                    hscan,
+                    scan_vectors: 50,
+                })
             })
             .collect();
         let choice = vec![0usize; soc.cores().len()];
+        group.bench_with_input(BenchmarkId::new("schedule", cores), &cores, |b, _| {
+            b.iter(|| schedule(&soc, &data, &choice, &costs))
+        });
+        // The incremental engine stepping one core's version per point —
+        // the explorer's hot loop.
+        let mut stepped = choice.clone();
+        stepped[0] = 1;
+        let mut engine = Scheduler::new(&soc, &data, &costs);
+        let mut flip = false;
         group.bench_with_input(
-            BenchmarkId::new("schedule", cores),
+            BenchmarkId::new("evaluate_incremental", cores),
             &cores,
-            |b, _| b.iter(|| schedule(&soc, &data, &choice, &costs)),
+            |b, _| {
+                b.iter(|| {
+                    flip = !flip;
+                    let c = if flip { &stepped } else { &choice };
+                    engine.evaluate(c).expect("valid choice")
+                })
+            },
         );
     }
     group.finish();

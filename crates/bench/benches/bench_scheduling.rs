@@ -20,7 +20,11 @@ fn inputs() -> (socet_rtl::Soc, Vec<Option<CoreTestData>>) {
             }
             let hscan = insert_hscan(inst.core(), &costs);
             let versions = synthesize_versions(inst.core(), &hscan, &costs);
-            Some(CoreTestData { versions, hscan, scan_vectors: 105 })
+            Some(CoreTestData {
+                versions,
+                hscan,
+                scan_vectors: 105,
+            })
         })
         .collect();
     (soc, data)

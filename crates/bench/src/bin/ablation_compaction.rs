@@ -18,13 +18,14 @@ fn run(mut system: PreparedSystem) {
     let costs = DftCosts::default();
     // Baseline TAT with the raw ATPG sets.
     let choice = vec![0usize; system.soc.cores().len()];
-    let before_tat =
-        schedule(&system.soc, &system.data, &choice, &costs).test_application_time();
+    let before_tat = schedule(&system.soc, &system.data, &choice, &costs).test_application_time();
 
     // Compact each core's set and refresh the per-core vector counts.
     for cid in system.soc.logic_cores() {
         let inst = system.soc.core(cid);
-        let nl = elaborate(inst.core()).expect("example cores elaborate").netlist;
+        let nl = elaborate(inst.core())
+            .expect("example cores elaborate")
+            .netlist;
         let mut tests = generate_tests(&nl, &TpgConfig::default());
         let stats = compact_tests(&nl, &mut tests);
         println!(
@@ -39,8 +40,7 @@ fn run(mut system: PreparedSystem) {
             td.scan_vectors = tests.vector_count();
         }
     }
-    let after_tat =
-        schedule(&system.soc, &system.data, &choice, &costs).test_application_time();
+    let after_tat = schedule(&system.soc, &system.data, &choice, &costs).test_application_time();
     println!(
         "  min-area TAT: {before_tat} -> {after_tat} cycles (x{:.2})",
         before_tat as f64 / after_tat.max(1) as f64

@@ -10,7 +10,7 @@
 
 use socet_bench::PreparedSystem;
 use socet_cells::DftCosts;
-use socet_core::{schedule_with, parallelize};
+use socet_core::{parallelize, schedule_with};
 use socet_socs::{barcode_system, system2};
 
 fn run(system: PreparedSystem) {
@@ -32,8 +32,8 @@ fn run(system: PreparedSystem) {
     ] {
         let with = schedule_with(&system.soc, &system.data, &choice, &costs, true);
         let without = schedule_with(&system.soc, &system.data, &choice, &costs, false);
-        let underestimate = with.test_application_time() as f64
-            / without.test_application_time().max(1) as f64;
+        let underestimate =
+            with.test_application_time() as f64 / without.test_application_time().max(1) as f64;
         println!(
             "  {label:<12} with reservations {:>9} cycles | without {:>9} cycles | naive underestimates by x{underestimate:.2}",
             with.test_application_time(),

@@ -36,8 +36,11 @@ fn main() {
     for (k, (a, t, c)) in distinct.iter().enumerate() {
         println!("  {:>4} {a:>10} {t:>12}  {c:?}", k + 1);
     }
-    println!("  ({} distinct points from {} combinations; paper plots 18)",
-        distinct.len(), points.len());
+    println!(
+        "  ({} distinct points from {} combinations; paper plots 18)",
+        distinct.len(),
+        points.len()
+    );
 
     let min_area = points
         .iter()
@@ -70,8 +73,8 @@ fn main() {
     );
 
     // The paper's shape claims.
-    let tat_reduction = min_area.test_application_time() as f64
-        / min_latency.test_application_time() as f64;
+    let tat_reduction =
+        min_area.test_application_time() as f64 / min_latency.test_application_time() as f64;
     let area_increase =
         min_latency.overhead_cells(&lib) as f64 / min_area.overhead_cells(&lib) as f64;
     println!("\nshape checks:");
@@ -81,6 +84,12 @@ fn main() {
         && min_tat.test_application_time() <= min_latency.test_application_time();
     println!(
         "  min-TAT point is at most as expensive as min-latency: {}",
-        if min_tat_cheaper { "HOLDS (the paper's design-point-17 observation)" } else { "VIOLATED" }
+        if min_tat_cheaper {
+            "HOLDS (the paper's design-point-17 observation)"
+        } else {
+            "VIOLATED"
+        }
     );
+
+    println!("\n{}", explorer.metrics());
 }

@@ -29,7 +29,10 @@ fn main() {
     let a_hi = core.find_port("AddrHi").expect("port");
 
     println!("FIG6: CPU transparency latency vs overhead");
-    println!("  {:<10} {:>9} {:>10} {:>10} {:>8}", "", "D->A(7-0)", "D->A(11-8)", "D->A(11-0)", "ovhd");
+    println!(
+        "  {:<10} {:>9} {:>10} {:>10} {:>8}",
+        "", "D->A(7-0)", "D->A(11-8)", "D->A(11-0)", "ovhd"
+    );
     let paper = [(6u32, 2u32, 8u32, 3u64), (1, 2, 3, 10), (1, 1, 2, 30)];
     let mut all_match = true;
     for (v, (p_lo, p_hi, p_tot, p_ov)) in versions.iter().zip(paper) {

@@ -38,16 +38,34 @@ fn main() {
     let num = prep.find_port("NUM").expect("port");
     let db = prep.find_port("DB").expect("port");
     let addr = prep.find_port("Address").expect("port");
-    println!("  {:<10} {:>8} {:>8} {:>8}", "", "NUM->DB", "NUM->A", "ovhd");
+    println!(
+        "  {:<10} {:>8} {:>8} {:>8}",
+        "", "NUM->DB", "NUM->A", "ovhd"
+    );
     let paper_a = [(5u32, 2u32, 2u64), (1, 2, 19), (1, 1, 37)];
     for (v, (p_db, p_a, p_ov)) in versions.iter().zip(paper_a) {
         let l_db = v.pair_latency(num, db).expect("pair");
         let l_a = v.pair_latency(num, addr).expect("pair");
         let ov = v.overhead_cells(&lib);
         println!("  {:<10} {l_db:>8} {l_a:>8} {ov:>8}", v.name());
-        compare_row(&format!("{} NUM->DB", v.name()), f64::from(l_db), f64::from(p_db), "cycles");
-        compare_row(&format!("{} NUM->A", v.name()), f64::from(l_a), f64::from(p_a), "cycles");
-        compare_row(&format!("{} overhead", v.name()), ov as f64, p_ov as f64, "cells");
+        compare_row(
+            &format!("{} NUM->DB", v.name()),
+            f64::from(l_db),
+            f64::from(p_db),
+            "cycles",
+        );
+        compare_row(
+            &format!("{} NUM->A", v.name()),
+            f64::from(l_a),
+            f64::from(p_a),
+            "cycles",
+        );
+        compare_row(
+            &format!("{} overhead", v.name()),
+            ov as f64,
+            p_ov as f64,
+            "cells",
+        );
     }
 
     println!("\nFIG8(b): DISPLAY");
@@ -61,8 +79,23 @@ fn main() {
         let l_a = out_latency(&disp, v, "ALo");
         let ov = v.overhead_cells(&lib);
         println!("  {:<10} {l_d:>8} {l_a:>8} {ov:>8}", v.name());
-        compare_row(&format!("{} D->OUT", v.name()), f64::from(l_d), f64::from(p_d), "cycles");
-        compare_row(&format!("{} A->OUT", v.name()), f64::from(l_a), f64::from(p_a), "cycles");
-        compare_row(&format!("{} overhead", v.name()), ov as f64, p_ov as f64, "cells");
+        compare_row(
+            &format!("{} D->OUT", v.name()),
+            f64::from(l_d),
+            f64::from(p_d),
+            "cycles",
+        );
+        compare_row(
+            &format!("{} A->OUT", v.name()),
+            f64::from(l_a),
+            f64::from(p_a),
+            "cycles",
+        );
+        compare_row(
+            &format!("{} overhead", v.name()),
+            ov as f64,
+            p_ov as f64,
+            "cells",
+        );
     }
 }

@@ -55,19 +55,54 @@ fn main() {
     }
 
     println!("\ncomparison with the paper:");
-    compare_row("pt1 area overhead", min_area.overhead_cells(&lib) as f64, 156.0, "cells");
-    compare_row("pt1 TApp", min_area.test_application_time() as f64, 17_387.0, "cycles");
-    compare_row("pt18 area overhead", min_latency.overhead_cells(&lib) as f64, 325.0, "cells");
-    compare_row("pt18 TApp", min_latency.test_application_time() as f64, 3_818.0, "cycles");
-    compare_row("pt17 area overhead", min_tat.overhead_cells(&lib) as f64, 307.0, "cells");
-    compare_row("pt17 TApp", min_tat.test_application_time() as f64, 3_806.0, "cycles");
+    compare_row(
+        "pt1 area overhead",
+        min_area.overhead_cells(&lib) as f64,
+        156.0,
+        "cells",
+    );
+    compare_row(
+        "pt1 TApp",
+        min_area.test_application_time() as f64,
+        17_387.0,
+        "cycles",
+    );
+    compare_row(
+        "pt18 area overhead",
+        min_latency.overhead_cells(&lib) as f64,
+        325.0,
+        "cells",
+    );
+    compare_row(
+        "pt18 TApp",
+        min_latency.test_application_time() as f64,
+        3_818.0,
+        "cycles",
+    );
+    compare_row(
+        "pt17 area overhead",
+        min_tat.overhead_cells(&lib) as f64,
+        307.0,
+        "cells",
+    );
+    compare_row(
+        "pt17 TApp",
+        min_tat.test_application_time() as f64,
+        3_806.0,
+        "cycles",
+    );
     compare_row("fault coverage", coverage.fault_coverage(), 98.4, "%");
     compare_row("test efficiency", coverage.test_efficiency(), 99.8, "%");
 
     println!("\nshape checks:");
     let reduction =
         min_area.test_application_time() as f64 / min_latency.test_application_time() as f64;
-    compare_row("TAT reduction pt1->pt18", reduction, 17_387.0 / 3_818.0, "x");
+    compare_row(
+        "TAT reduction pt1->pt18",
+        reduction,
+        17_387.0 / 3_818.0,
+        "x",
+    );
     println!(
         "  min-TApp <= min-latency TApp: {}",
         if min_tat.test_application_time() <= min_latency.test_application_time() {

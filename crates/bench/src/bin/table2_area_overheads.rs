@@ -42,10 +42,29 @@ fn run(system: PreparedSystem, paper: &PaperRow) {
         .expect("sweep is non-empty");
 
     let hscan_cells = system.hscan_cells(&lib);
-    println!("\n{} — original area {} cells", system.soc.name(), orig as u64);
-    compare_row("core-level FSCAN ovhd %", pct(fb.fscan_cells(&lib)), paper.fscan, "%");
-    compare_row("core-level HSCAN ovhd %", pct(hscan_cells), paper.hscan, "%");
-    compare_row("chip-level BSCAN ovhd %", pct(fb.bscan_cells(&lib)), paper.bscan, "%");
+    println!(
+        "\n{} — original area {} cells",
+        system.soc.name(),
+        orig as u64
+    );
+    compare_row(
+        "core-level FSCAN ovhd %",
+        pct(fb.fscan_cells(&lib)),
+        paper.fscan,
+        "%",
+    );
+    compare_row(
+        "core-level HSCAN ovhd %",
+        pct(hscan_cells),
+        paper.hscan,
+        "%",
+    );
+    compare_row(
+        "chip-level BSCAN ovhd %",
+        pct(fb.bscan_cells(&lib)),
+        paper.bscan,
+        "%",
+    );
     compare_row(
         "chip-level SOCET (min area) %",
         pct(min_area.overhead_cells(&lib)),
@@ -79,7 +98,11 @@ fn run(system: PreparedSystem, paper: &PaperRow) {
     let socet_total = hscan_cells + min_tat.overhead_cells(&lib);
     println!(
         "  SOCET total beats FSCAN-BSCAN total: {}",
-        if socet_total < fb.total_cells(&lib) { "HOLDS" } else { "VIOLATED" }
+        if socet_total < fb.total_cells(&lib) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }
 

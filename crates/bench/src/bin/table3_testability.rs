@@ -50,16 +50,36 @@ fn run(system: PreparedSystem, paper: &PaperRow) {
         .expect("sweep is non-empty");
 
     println!("\n{}:", system.soc.name());
-    compare_row("Orig. fault coverage", orig.fault_coverage(), paper.orig_fc, "%");
-    compare_row("HSCAN-only fault coverage", hscan.fault_coverage(), paper.hscan_fc, "%");
-    compare_row("FSCAN-BSCAN fault coverage", full.fault_coverage(), paper.fb_fc, "%");
+    compare_row(
+        "Orig. fault coverage",
+        orig.fault_coverage(),
+        paper.orig_fc,
+        "%",
+    );
+    compare_row(
+        "HSCAN-only fault coverage",
+        hscan.fault_coverage(),
+        paper.hscan_fc,
+        "%",
+    );
+    compare_row(
+        "FSCAN-BSCAN fault coverage",
+        full.fault_coverage(),
+        paper.fb_fc,
+        "%",
+    );
     compare_row(
         "FSCAN-BSCAN TApp",
         fb.test_application_time() as f64,
         paper.fb_tapp,
         "cycles",
     );
-    compare_row("SOCET fault coverage", full.fault_coverage(), paper.socet_fc, "%");
+    compare_row(
+        "SOCET fault coverage",
+        full.fault_coverage(),
+        paper.socet_fc,
+        "%",
+    );
     compare_row(
         "SOCET TApp (min area)",
         min_area.test_application_time() as f64,
@@ -75,20 +95,34 @@ fn run(system: PreparedSystem, paper: &PaperRow) {
     println!("  shape checks:");
     println!(
         "    Orig << scan-based coverage: {}",
-        if orig.fault_coverage() + 20.0 < full.fault_coverage() { "HOLDS" } else { "VIOLATED" }
+        if orig.fault_coverage() + 20.0 < full.fault_coverage() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "    HSCAN-only >= Orig:          {}",
-        if hscan.fault_coverage() >= orig.fault_coverage() { "HOLDS" } else { "VIOLATED" }
+        if hscan.fault_coverage() >= orig.fault_coverage() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "    SOCET TApp < FSCAN-BSCAN:    {}",
-        if min_area.test_application_time() < fb.test_application_time() { "HOLDS" } else { "VIOLATED" }
+        if min_area.test_application_time() < fb.test_application_time() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }
 
 fn main() {
-    println!("TAB3: testability results ({RANDOM_CYCLES} random sequential cycles for Orig/HSCAN rows)");
+    println!(
+        "TAB3: testability results ({RANDOM_CYCLES} random sequential cycles for Orig/HSCAN rows)"
+    );
     run(
         PreparedSystem::prepare(barcode_system()),
         &PaperRow {

@@ -80,5 +80,10 @@ fn main() {
         .iter()
         .find(|c| c.core == disp)
         .expect("DISPLAY accounted");
-    compare_row("DISPLAY TApp, FSCAN-BSCAN", fb_disp.test_time() as f64, 9_115.0, "cycles");
+    compare_row(
+        "DISPLAY TApp, FSCAN-BSCAN",
+        fb_disp.test_time() as f64,
+        9_115.0,
+        "cycles",
+    );
 }

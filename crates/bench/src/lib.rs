@@ -114,14 +114,20 @@ impl PreparedSystem {
         self.tests
             .iter()
             .flatten()
-            .fold(socet_atpg::Coverage::default(), |acc, t| acc.merge(&t.coverage))
+            .fold(socet_atpg::Coverage::default(), |acc, t| {
+                acc.merge(&t.coverage)
+            })
     }
 }
 
 /// Prints a `measured vs paper` row with a ratio, used by every table
 /// binary so the output format is uniform.
 pub fn compare_row(label: &str, measured: f64, paper: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!("  {label:<34} measured {measured:>10.1} {unit:<7} paper {paper:>10.1} {unit:<7} (x{ratio:.2})");
 }
 

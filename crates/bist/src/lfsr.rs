@@ -119,7 +119,11 @@ impl Lfsr {
 
 impl fmt::Display for Lfsr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lfsr-{} taps {:?} state {:#x}", self.width, self.taps, self.state)
+        write!(
+            f,
+            "lfsr-{} taps {:?} state {:#x}",
+            self.width, self.taps, self.state
+        )
     }
 }
 
@@ -131,7 +135,12 @@ mod tests {
     #[test]
     fn maximal_length_sequences() {
         // Known maximal-length polynomials: (width, taps).
-        for (w, taps) in [(3u16, vec![2u16, 1]), (4, vec![3, 2]), (5, vec![4, 2]), (7, vec![6, 5])] {
+        for (w, taps) in [
+            (3u16, vec![2u16, 1]),
+            (4, vec![3, 2]),
+            (5, vec![4, 2]),
+            (7, vec![6, 5]),
+        ] {
             let mut l = Lfsr::new(w, &taps);
             let start = l.state();
             let mut count = 0usize;

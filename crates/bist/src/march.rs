@@ -87,7 +87,10 @@ impl MemoryModel {
                 victim_addr,
                 victim_bit,
             } => {
-                assert!(aggressor_addr < self.words.len(), "aggressor {aggressor_addr}");
+                assert!(
+                    aggressor_addr < self.words.len(),
+                    "aggressor {aggressor_addr}"
+                );
                 assert!(victim_addr < self.words.len(), "victim {victim_addr}");
                 assert!(victim_bit < self.width, "victim bit {victim_bit}");
                 assert_ne!(aggressor_addr, victim_addr, "self-coupling");
@@ -137,7 +140,12 @@ impl MemoryModel {
     pub fn read(&self, addr: usize) -> u64 {
         let mut v = self.words[addr];
         for f in &self.faults {
-            if let MemoryFault::StuckBit { addr: a, bit, value } = f {
+            if let MemoryFault::StuckBit {
+                addr: a,
+                bit,
+                value,
+            } = f
+            {
                 if *a == addr {
                     if *value {
                         v |= 1 << bit;

@@ -86,11 +86,7 @@ impl Misr {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the MISR width.
-    pub fn build_gates(
-        &self,
-        b: &mut GateNetlistBuilder,
-        inputs: &[SignalId],
-    ) -> Vec<SignalId> {
+    pub fn build_gates(&self, b: &mut GateNetlistBuilder, inputs: &[SignalId]) -> Vec<SignalId> {
         assert_eq!(inputs.len(), self.width as usize, "input word width");
         let qs: Vec<SignalId> = (0..self.width).map(|_| b.dff_deferred()).collect();
         let tap_sigs: Vec<SignalId> = self.taps.iter().map(|&t| qs[t as usize]).collect();
@@ -111,7 +107,11 @@ impl Misr {
 
 impl fmt::Display for Misr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "misr-{} taps {:?} sig {:#x}", self.width, self.taps, self.state)
+        write!(
+            f,
+            "misr-{} taps {:?} sig {:#x}",
+            self.width, self.taps, self.state
+        )
     }
 }
 

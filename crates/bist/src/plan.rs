@@ -96,9 +96,7 @@ pub fn plan_memory_bist(soc: &Soc) -> Vec<MemoryBistPlan> {
         let mut b = GateNetlistBuilder::new("bist");
         let lfsr = Lfsr::new(addr_width, &default_taps(addr_width));
         let addr = lfsr.build_gates(&mut b);
-        let data_ins: Vec<_> = (0..data_width)
-            .map(|k| b.input(&format!("d{k}")))
-            .collect();
+        let data_ins: Vec<_> = (0..data_width).map(|k| b.input(&format!("d{k}"))).collect();
         let misr = Misr::new(data_width, &default_taps(data_width));
         let sig = misr.build_gates(&mut b, &data_ins);
         for (k, s) in addr.iter().chain(sig.iter()).enumerate() {

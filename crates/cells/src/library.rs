@@ -230,7 +230,12 @@ mod tests {
         assert!(CellKind::ScanDff.is_sequential());
         assert!(CellKind::Latch.is_sequential());
         assert!(CellKind::BscanCell.is_sequential());
-        for k in [CellKind::Inv, CellKind::Xor2, CellKind::FullAdder, CellKind::Tribuf] {
+        for k in [
+            CellKind::Inv,
+            CellKind::Xor2,
+            CellKind::FullAdder,
+            CellKind::Tribuf,
+        ] {
             assert!(!k.is_sequential(), "{k} should be combinational");
         }
     }

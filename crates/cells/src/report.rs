@@ -255,7 +255,10 @@ mod tests {
     fn cells_is_area_weighted() {
         let lib = CellLibrary::generic_08um();
         let r = AreaReport::of(CellKind::ScanDff, 10);
-        assert_eq!(r.cells(&lib), 10 * u64::from(lib.area_of(CellKind::ScanDff)));
+        assert_eq!(
+            r.cells(&lib),
+            10 * u64::from(lib.area_of(CellKind::ScanDff))
+        );
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! reserves over time intervals, reproducing the paper's "reserve the edges
 //! for the cycles in which they will be used".
 
+use crate::error::ScheduleError;
 use crate::plan::CoreTestData;
 use socet_rtl::{ChipPinId, CoreInstanceId, Direction, PortId, Soc, SocEndpoint};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 
 /// A node of the CCG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +83,13 @@ pub struct CcgEdge {
 }
 
 /// The core connectivity graph for one version choice.
+///
+/// Edges are laid out canonically: one contiguous *group* of transparency
+/// edges per logic core (in [`Soc::logic_cores`] order), then every
+/// interconnect edge. [`Ccg::step_core`] exploits the grouping to patch a
+/// single core's version in place — the inner move of the §5.2 iterative-
+/// improvement loop and of a lexicographic sweep, where consecutive points
+/// differ in one core — instead of rebuilding the whole graph.
 #[derive(Debug, Clone)]
 pub struct Ccg {
     nodes: Vec<CcgNode>,
@@ -89,6 +98,8 @@ pub struct Ccg {
     out_edges: Vec<Vec<usize>>,
     pis: Vec<usize>,
     pos: Vec<usize>,
+    /// Per logic core, the range of its transparency-edge group in `edges`.
+    trans_ranges: Vec<(CoreInstanceId, Range<usize>)>,
 }
 
 impl Ccg {
@@ -103,6 +114,22 @@ impl Ccg {
     /// Panics if a logic core lacks test data or its choice is out of
     /// range.
     pub fn build(soc: &Soc, data: &[Option<CoreTestData>], choice: &[usize]) -> Ccg {
+        Ccg::try_build(soc, data, choice).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Ccg::build`]: missing test data, out-of-range and
+    /// too-short choices come back as a [`ScheduleError`].
+    pub fn try_build(
+        soc: &Soc,
+        data: &[Option<CoreTestData>],
+        choice: &[usize],
+    ) -> Result<Ccg, ScheduleError> {
+        if choice.len() < soc.cores().len() {
+            return Err(ScheduleError::ChoiceLengthMismatch {
+                expected: soc.cores().len(),
+                got: choice.len(),
+            });
+        }
         let mut ccg = Ccg {
             nodes: Vec::new(),
             index: HashMap::new(),
@@ -110,8 +137,11 @@ impl Ccg {
             out_edges: Vec::new(),
             pis: Vec::new(),
             pos: Vec::new(),
+            trans_ranges: Vec::new(),
         };
-        // Pins.
+        // Pins, then every core port: the node set depends only on the SOC,
+        // never on the version choice, so incremental patches only ever
+        // touch edges.
         for pin in soc.primary_inputs() {
             let i = ccg.intern(CcgNode::Pi(pin));
             ccg.pis.push(i);
@@ -120,44 +150,28 @@ impl Ccg {
             let i = ccg.intern(CcgNode::Po(pin));
             ccg.pos.push(i);
         }
-        // Core ports and transparency edges.
         for cid in soc.logic_cores() {
-            let inst = soc.core(cid);
-            let core = inst.core();
+            let core = soc.core(cid).core();
             for p in core.input_ports() {
                 ccg.intern(CcgNode::CoreIn(cid, p));
             }
             for p in core.output_ports() {
                 ccg.intern(CcgNode::CoreOut(cid, p));
             }
-            let td = data[cid.index()]
-                .as_ref()
-                .unwrap_or_else(|| panic!("logic core {cid} lacks test data"));
-            let version = &td.versions[choice[cid.index()]];
-            for (input, output, latency, path) in version.pairs() {
-                let from = ccg.intern(CcgNode::CoreIn(cid, input));
-                let to = ccg.intern(CcgNode::CoreOut(cid, output));
-                let mut resources: Vec<Resource> = version.paths()[path]
-                    .edges
-                    .iter()
-                    .map(|e| Resource::RcgEdge(cid, e.index() as u32))
-                    .collect();
-                resources.push(Resource::InputPort(cid, input));
-                ccg.add_edge(CcgEdge {
-                    from,
-                    to,
-                    latency,
-                    kind: CcgEdgeKind::Transparency { core: cid, path },
-                    resources,
-                });
-            }
+        }
+        // Transparency edges, one contiguous group per core.
+        for cid in soc.logic_cores() {
+            let start = ccg.edges.len();
+            let group = ccg.core_group_edges(cid, data, choice[cid.index()])?;
+            ccg.edges.extend(group);
+            ccg.trans_ranges.push((cid, start..ccg.edges.len()));
         }
         // Interconnect from the SOC nets (skipping memory-core endpoints).
         for (ni, net) in soc.nets().iter().enumerate() {
             let from = ccg.net_node(soc, &net.src);
             let to = ccg.net_node(soc, &net.dst);
             if let (Some(from), Some(to)) = (from, to) {
-                ccg.add_edge(CcgEdge {
+                ccg.edges.push(CcgEdge {
                     from,
                     to,
                     latency: 0,
@@ -166,7 +180,112 @@ impl Ccg {
                 });
             }
         }
-        ccg
+        ccg.reindex();
+        Ok(ccg)
+    }
+
+    /// Re-points `core`'s transparency-edge group at version `new_choice`,
+    /// leaving every other edge untouched. Returns the number of edges
+    /// written.
+    ///
+    /// The patched graph is structurally identical to a fresh
+    /// [`Ccg::try_build`] with the updated choice — same edge order, same
+    /// adjacency lists — so routing over it is bit-for-bit deterministic
+    /// either way (the `incremental_patching_equals_full_build` property
+    /// test pins this).
+    pub fn step_core(
+        &mut self,
+        core: CoreInstanceId,
+        data: &[Option<CoreTestData>],
+        new_choice: usize,
+    ) -> Result<usize, ScheduleError> {
+        let ri = self
+            .trans_ranges
+            .iter()
+            .position(|(c, _)| *c == core)
+            .ok_or(ScheduleError::MissingCoreData { core })?;
+        let group = self.core_group_edges(core, data, new_choice)?;
+        let written = group.len();
+        let range = self.trans_ranges[ri].1.clone();
+        let delta = written as isize - range.len() as isize;
+        self.edges.splice(range.clone(), group);
+        self.trans_ranges[ri].1 = range.start..range.start + written;
+        for (_, r) in self.trans_ranges.iter_mut().skip(ri + 1) {
+            *r = ((r.start as isize + delta) as usize)..((r.end as isize + delta) as usize);
+        }
+        self.reindex();
+        Ok(written)
+    }
+
+    /// The transparency edges of `core` under version `choice`, in the
+    /// canonical (version pair) order shared by full builds and patches.
+    fn core_group_edges(
+        &self,
+        cid: CoreInstanceId,
+        data: &[Option<CoreTestData>],
+        choice: usize,
+    ) -> Result<Vec<CcgEdge>, ScheduleError> {
+        let td = data
+            .get(cid.index())
+            .and_then(|d| d.as_ref())
+            .ok_or(ScheduleError::MissingCoreData { core: cid })?;
+        let version = td
+            .versions
+            .get(choice)
+            .ok_or(ScheduleError::ChoiceOutOfRange {
+                core: cid,
+                choice,
+                versions: td.versions.len(),
+            })?;
+        let mut group = Vec::new();
+        for (input, output, latency, path) in version.pairs() {
+            let from =
+                self.find(CcgNode::CoreIn(cid, input))
+                    .ok_or(ScheduleError::PortNotInCcg {
+                        core: cid,
+                        port: input,
+                    })?;
+            let to =
+                self.find(CcgNode::CoreOut(cid, output))
+                    .ok_or(ScheduleError::PortNotInCcg {
+                        core: cid,
+                        port: output,
+                    })?;
+            let mut resources: Vec<Resource> = version.paths()[path]
+                .edges
+                .iter()
+                .map(|e| Resource::RcgEdge(cid, e.index() as u32))
+                .collect();
+            resources.push(Resource::InputPort(cid, input));
+            group.push(CcgEdge {
+                from,
+                to,
+                latency,
+                kind: CcgEdgeKind::Transparency { core: cid, path },
+                resources,
+            });
+        }
+        Ok(group)
+    }
+
+    /// Rebuilds the adjacency lists from `edges`. Both build and patch end
+    /// here, which is what makes patched and fresh graphs structurally
+    /// identical.
+    fn reindex(&mut self) {
+        for v in &mut self.out_edges {
+            v.clear();
+        }
+        for (ei, e) in self.edges.iter().enumerate() {
+            self.out_edges[e.from].push(ei);
+        }
+    }
+
+    /// The range of `core`'s transparency-edge group in [`Ccg::edges`].
+    pub fn core_edge_range(&self, core: CoreInstanceId) -> Option<Range<usize>> {
+        self.trans_ranges
+            .iter()
+            .find(|(c, _)| *c == core)
+            .map(|(_, r)| r.clone())
     }
 
     fn net_node(&mut self, soc: &Soc, ep: &SocEndpoint) -> Option<usize> {
@@ -201,12 +320,6 @@ impl Ccg {
         self.index.insert(node, i);
         self.out_edges.push(Vec::new());
         i
-    }
-
-    fn add_edge(&mut self, edge: CcgEdge) {
-        let ei = self.edges.len();
-        self.out_edges[edge.from].push(ei);
-        self.edges.push(edge);
     }
 
     /// All nodes; indices are stable.
@@ -300,7 +413,12 @@ impl Ccg {
 
 impl fmt::Display for Ccg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "ccg: {} nodes, {} edges", self.nodes.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "ccg: {} nodes, {} edges",
+            self.nodes.len(),
+            self.edges.len()
+        )?;
         for e in &self.edges {
             writeln!(
                 f,
@@ -399,10 +517,9 @@ mod tests {
         let ccg = Ccg::build(&soc, &data, &[0, 0]);
         // RAM contributes no nodes: 1 PI + 1 PO + 2 core ports.
         assert_eq!(ccg.nodes().len(), 4);
-        assert!(ccg
-            .nodes()
-            .iter()
-            .all(|n| !matches!(n, CcgNode::CoreIn(c, _) | CcgNode::CoreOut(c, _) if c.index() == 1)));
+        assert!(ccg.nodes().iter().all(
+            |n| !matches!(n, CcgNode::CoreIn(c, _) | CcgNode::CoreOut(c, _) if c.index() == 1)
+        ));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Typed errors of the chip-level evaluation engine.
+//!
+//! The original scheduler documented its failure modes as panics ("Panics
+//! if a logic core lacks test data or its choice is out of range"). Design-
+//! space exploration evaluates thousands of points, often over user-supplied
+//! or generated inputs; a bad point must come back as a value the explorer
+//! can report or skip, not a process abort. The panicking entry points
+//! ([`schedule`](crate::schedule::schedule), `Explorer::evaluate`) survive
+//! as thin wrappers for callers who want the old contract.
+
+use socet_rtl::{CoreInstanceId, PortId};
+use socet_transparency::SearchError;
+use std::fmt;
+
+/// Everything that can go wrong building, routing, or assembling one
+/// design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A logic core has no [`CoreTestData`](crate::plan::CoreTestData)
+    /// entry (the slot is `None` or the data slice is too short).
+    MissingCoreData {
+        /// The core whose data is missing.
+        core: CoreInstanceId,
+    },
+    /// A core's selected version index exceeds its ladder.
+    ChoiceOutOfRange {
+        /// The core whose choice is invalid.
+        core: CoreInstanceId,
+        /// The offending version index.
+        choice: usize,
+        /// The ladder height actually available.
+        versions: usize,
+    },
+    /// The choice vector does not cover every core instance.
+    ChoiceLengthMismatch {
+        /// `soc.cores().len()`.
+        expected: usize,
+        /// `choice.len()`.
+        got: usize,
+    },
+    /// A core port expected in the CCG is absent — only reachable if the
+    /// graph was built for a different SOC than it is now used with.
+    PortNotInCcg {
+        /// The core owning the port.
+        core: CoreInstanceId,
+        /// The missing port.
+        port: PortId,
+    },
+    /// Transparency version synthesis failed for a core (no input or no
+    /// output ports).
+    Transparency(SearchError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingCoreData { core } => {
+                write!(f, "logic core {core} lacks test data")
+            }
+            ScheduleError::ChoiceOutOfRange {
+                core,
+                choice,
+                versions,
+            } => write!(
+                f,
+                "version choice {choice} for core {core} is out of range (ladder has {versions})"
+            ),
+            ScheduleError::ChoiceLengthMismatch { expected, got } => write!(
+                f,
+                "choice vector covers {got} cores but the SOC has {expected}"
+            ),
+            ScheduleError::PortNotInCcg { core, port } => {
+                write!(f, "port {port} of core {core} is not a CCG node")
+            }
+            ScheduleError::Transparency(e) => write!(f, "transparency synthesis failed: {e}"),
+        }
+    }
+}
+
+impl From<SearchError> for ScheduleError {
+    fn from(e: SearchError) -> Self {
+        ScheduleError::Transparency(e)
+    }
+}
+
+impl std::error::Error for ScheduleError {}

@@ -1,11 +1,27 @@
 //! Design-space exploration: the iterative-improvement core-version
 //! selection of §5.2 and the exhaustive sweep behind Fig. 10.
+//!
+//! Every entry point comes in two flavours — a panicking one matching the
+//! original API ([`Explorer::evaluate`], [`Explorer::sweep`],
+//! [`Explorer::optimize`]) and a `try_` variant returning
+//! [`ScheduleError`]. All of them run on reusable [`Scheduler`] engines:
+//! the sweep walks the choice space in an order where neighbouring points
+//! differ in few cores, so almost every evaluation is an incremental CCG
+//! patch; the §5.2 loop additionally memoizes evaluated points (the
+//! strict/lateral passes probe the same candidates repeatedly). Sweeps
+//! fan out over [`std::thread::scope`] when the host has more than one
+//! CPU, splitting the lexicographic index range into contiguous chunks so
+//! the output order stays deterministic.
 
+use crate::error::ScheduleError;
+use crate::metrics::Metrics;
 use crate::plan::{CoreTestData, DesignPoint};
-use crate::schedule::schedule;
+use crate::schedule::Scheduler;
 use socet_cells::{CellLibrary, DftCosts};
 use socet_rtl::{CoreInstanceId, Soc};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// The user's optimization objective (paper §5, objectives (i) and (ii)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +65,10 @@ pub struct Explorer<'a> {
     data: &'a [Option<CoreTestData>],
     costs: DftCosts,
     lib: CellLibrary,
+    /// The warm evaluation engine: its cached CCG, router scratch and
+    /// route cache survive across `evaluate`/`optimize`/`sweep` calls.
+    engine: Mutex<Option<Scheduler<'a>>>,
+    metrics: Mutex<Metrics>,
 }
 
 impl<'a> Explorer<'a> {
@@ -59,6 +79,8 @@ impl<'a> Explorer<'a> {
             data,
             costs,
             lib: CellLibrary::generic_08um(),
+            engine: Mutex::new(None),
+            metrics: Mutex::new(Metrics::new()),
         }
     }
 
@@ -68,9 +90,49 @@ impl<'a> Explorer<'a> {
         self
     }
 
+    /// A fresh evaluation engine over this explorer's SOC.
+    fn scheduler(&self) -> Scheduler<'a> {
+        Scheduler::new(self.soc, self.data, &self.costs)
+    }
+
+    /// Runs `f` on the explorer's warm engine (created on first use),
+    /// folding the engine's counters into the explorer-wide metrics.
+    fn with_engine<R>(&self, f: impl FnOnce(&mut Scheduler<'a>) -> R) -> R {
+        let mut guard = self.engine.lock().expect("engine lock");
+        let engine = guard.get_or_insert_with(|| self.scheduler());
+        let r = f(engine);
+        let m = engine.take_metrics();
+        drop(guard);
+        self.absorb(m);
+        r
+    }
+
+    /// Folds one engine's counters into the explorer-wide total.
+    fn absorb(&self, m: Metrics) {
+        self.metrics.lock().expect("metrics lock").merge(&m);
+    }
+
+    /// Engine counters aggregated over every evaluation this explorer has
+    /// run (including all sweep workers).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().expect("metrics lock").clone()
+    }
+
     /// Routes and schedules one version choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use [`Explorer::try_evaluate`] for the
+    /// typed-error contract.
     pub fn evaluate(&self, choice: &[usize]) -> DesignPoint {
-        schedule(self.soc, self.data, choice, &self.costs)
+        self.try_evaluate(choice).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Routes and schedules one version choice, reporting invalid input
+    /// (missing core data, out-of-range or short choice vectors) as a
+    /// [`ScheduleError`] instead of panicking.
+    pub fn try_evaluate(&self, choice: &[usize]) -> Result<DesignPoint, ScheduleError> {
+        self.with_engine(|sched| sched.evaluate(choice))
     }
 
     /// The minimum-area starting choice: version 1 everywhere.
@@ -97,37 +159,111 @@ impl<'a> Explorer<'a> {
     /// Fig. 10 plots these points for System 1.
     ///
     /// Points are returned in lexicographic choice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use [`Explorer::try_sweep`].
     pub fn sweep(&self) -> Vec<DesignPoint> {
+        self.try_sweep().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Explorer::sweep`].
+    ///
+    /// The sweep runs on every available CPU: the lexicographic index
+    /// range is split into contiguous chunks, one scoped worker thread per
+    /// chunk, each with its own incremental [`Scheduler`]; chunks are
+    /// concatenated in spawn order, so the result is identical to the
+    /// sequential sweep.
+    pub fn try_sweep(&self) -> Result<Vec<DesignPoint>, ScheduleError> {
         let logic = self.soc.logic_cores();
         let radios: Vec<usize> = logic
             .iter()
-            .map(|c| self.data[c.index()].as_ref().map(|d| d.versions.len()).unwrap_or(1))
+            .map(|c| {
+                self.data[c.index()]
+                    .as_ref()
+                    .map(|d| d.versions.len())
+                    .unwrap_or(1)
+            })
             .collect();
         let total: usize = radios.iter().product();
-        let mut points = Vec::with_capacity(total);
-        for mut k in 0..total {
-            let mut choice = vec![0usize; self.soc.cores().len()];
+        let ncores = self.soc.cores().len();
+        let choice_of = |mut k: usize| {
+            let mut choice = vec![0usize; ncores];
             for (ci, c) in logic.iter().enumerate() {
                 choice[c.index()] = k % radios[ci];
                 k /= radios[ci];
             }
-            points.push(self.evaluate(&choice));
+            choice
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(total.max(1));
+        if workers <= 1 {
+            return self.with_engine(|sched| {
+                let mut points = Vec::with_capacity(total);
+                for k in 0..total {
+                    points.push(sched.evaluate(&choice_of(k))?);
+                }
+                Ok(points)
+            });
         }
-        points
+        let chunk = total.div_ceil(workers);
+        let results: Vec<Result<(Vec<DesignPoint>, Metrics), ScheduleError>> =
+            std::thread::scope(|s| {
+                let choice_of = &choice_of;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(total);
+                            let mut sched = self.scheduler();
+                            let mut points = Vec::with_capacity(hi - lo);
+                            for k in lo..hi {
+                                points.push(sched.evaluate(&choice_of(k))?);
+                            }
+                            Ok((points, sched.take_metrics()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+        let mut points = Vec::with_capacity(total);
+        let mut first_err = None;
+        for r in results {
+            match r {
+                Ok((p, m)) => {
+                    points.extend(p);
+                    self.absorb(m);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(points),
+        }
     }
 
     /// §5.2 latency number of `core` under `version_idx`, given the pair
     /// usage of the current solution: `Σ usage(i,o) × latency(i,o)`.
     fn latency_number(&self, dp: &DesignPoint, core: CoreInstanceId, version_idx: usize) -> u64 {
-        let td = self.data[core.index()].as_ref().expect("logic core data");
+        let Some(td) = self.data[core.index()].as_ref() else {
+            return 0;
+        };
         let version = &td.versions[version_idx];
         dp.pair_usage
             .iter()
             .filter(|((c, _, _), _)| *c == core)
             .map(|((_, i, o), count)| {
-                let lat = version
-                    .pair_latency(*i, *o)
-                    .unwrap_or_else(|| td.versions[dp.choice[core.index()]].pair_latency(*i, *o).unwrap_or(0));
+                let lat = version.pair_latency(*i, *o).unwrap_or_else(|| {
+                    td.versions[dp.choice[core.index()]]
+                        .pair_latency(*i, *o)
+                        .unwrap_or(0)
+                });
                 u64::from(*count) * u64::from(lat)
             })
             .sum()
@@ -143,15 +279,40 @@ impl<'a> Explorer<'a> {
     ///   fits the area budget; stop when none fits;
     /// * objective (ii): pick the cheapest ΔA with non-zero ΔTAT; stop as
     ///   soon as the TAT budget is met (or no candidate helps).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input — use [`Explorer::try_optimize`].
     pub fn optimize(&self, objective: Objective) -> DesignPoint {
+        self.try_optimize(objective)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Explorer::optimize`].
+    ///
+    /// Runs on one incremental engine and memoizes evaluated points — the
+    /// strict and lateral passes probe the same neighbouring choices over
+    /// and over, and a memo hit skips the whole build/route/assemble
+    /// pipeline.
+    pub fn try_optimize(&self, objective: Objective) -> Result<DesignPoint, ScheduleError> {
+        let mut memo: HashMap<Vec<usize>, DesignPoint> = HashMap::new();
+        self.with_engine(|sched| self.optimize_inner(objective, sched, &mut memo))
+    }
+
+    fn optimize_inner(
+        &self,
+        objective: Objective,
+        sched: &mut Scheduler<'_>,
+        memo: &mut HashMap<Vec<usize>, DesignPoint>,
+    ) -> Result<DesignPoint, ScheduleError> {
         let mut choice = self.min_area_choice();
-        let mut current = self.evaluate(&choice);
+        let mut current = eval_memo(sched, memo, &choice)?;
         // Version indices only ever increase, so the loop is bounded by the
         // total ladder height.
         loop {
             if let Objective::MinAreaUnderTat { max_tat_cycles } = objective {
                 if current.test_application_time() <= max_tat_cycles {
-                    return current;
+                    return Ok(current);
                 }
             }
             let mut candidates = self.candidates(&current, &choice);
@@ -177,7 +338,7 @@ impl<'a> Explorer<'a> {
                 for cand in &candidates {
                     let mut next_choice = choice.clone();
                     next_choice[cand.core.index()] += 1;
-                    let next = self.evaluate(&next_choice);
+                    let next = eval_memo(sched, memo, &next_choice)?;
                     if next.overhead_cells(&self.lib) > budget {
                         continue;
                     }
@@ -186,8 +347,7 @@ impl<'a> Explorer<'a> {
                         tat < current.test_application_time()
                     } else {
                         tat <= current.test_application_time()
-                            && next_choice[cand.core.index()]
-                                < self.ladder_len(cand.core)
+                            && next_choice[cand.core.index()] < self.ladder_len(cand.core)
                     };
                     if ok {
                         accepted = Some((next_choice, next));
@@ -203,7 +363,7 @@ impl<'a> Explorer<'a> {
                     choice = nc;
                     current = np;
                 }
-                None => return current,
+                None => return Ok(current),
             }
         }
     }
@@ -235,6 +395,21 @@ impl<'a> Explorer<'a> {
         }
         v
     }
+}
+
+/// Evaluates through the memo: a previously seen choice skips the engine
+/// entirely.
+fn eval_memo(
+    sched: &mut Scheduler<'_>,
+    memo: &mut HashMap<Vec<usize>, DesignPoint>,
+    choice: &[usize],
+) -> Result<DesignPoint, ScheduleError> {
+    if let Some(dp) = memo.get(choice) {
+        return Ok(dp.clone());
+    }
+    let dp = sched.evaluate(choice)?;
+    memo.insert(choice.to_vec(), dp.clone());
+    Ok(dp)
 }
 
 /// A single-step replacement move considered by the §5.2 loop.
@@ -326,6 +501,65 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_in_lexicographic_choice_order() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        let points = ex.sweep();
+        for (k, p) in points.iter().enumerate() {
+            assert_eq!(p.choice, vec![k % 3, (k / 3) % 3, (k / 9) % 3], "point {k}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_point_evaluation() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        for p in ex.sweep() {
+            let fresh = ex.evaluate(&p.choice);
+            assert_eq!(format!("{p:?}"), format!("{fresh:?}"), "at {:?}", p.choice);
+        }
+    }
+
+    #[test]
+    fn sweep_accumulates_metrics() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        ex.sweep();
+        let m = ex.metrics();
+        assert_eq!(m.evaluations, 27);
+        // On one engine, 26 of the 27 points patch incrementally; with
+        // more workers each chunk pays one full build.
+        assert!(m.ccg_full_builds >= 1);
+        assert!(m.ccg_full_builds + m.ccg_incremental_patches >= 27, "{m}");
+        assert!(m.route_attempts > 0);
+    }
+
+    #[test]
+    fn try_evaluate_reports_missing_core_data() {
+        let (soc, mut data) = three_core_soc();
+        data[2] = None;
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        assert!(matches!(
+            ex.try_evaluate(&[0, 0, 0]),
+            Err(ScheduleError::MissingCoreData { core }) if core.index() == 2
+        ));
+    }
+
+    #[test]
+    fn try_evaluate_reports_out_of_range_choice() {
+        let (soc, data) = three_core_soc();
+        let ex = Explorer::new(&soc, &data, DftCosts::default());
+        assert!(matches!(
+            ex.try_evaluate(&[0, 7, 0]),
+            Err(ScheduleError::ChoiceOutOfRange {
+                choice: 7,
+                versions: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn objective_one_respects_area_budget() {
         let (soc, data) = three_core_soc();
         let ex = Explorer::new(&soc, &data, DftCosts::default());
@@ -414,14 +648,18 @@ mod tests {
         let ex = Explorer::new(&soc, &data, DftCosts::default());
         let lib = CellLibrary::generic_08um();
         let baseline = ex.evaluate(&ex.min_area_choice());
-        let dp = ex.optimize(Objective::MinTatUnderArea { max_overhead_cells: 0 });
+        let dp = ex.optimize(Objective::MinTatUnderArea {
+            max_overhead_cells: 0,
+        });
         // Nothing fits a zero budget beyond the baseline itself.
         assert_eq!(dp.overhead_cells(&lib), baseline.overhead_cells(&lib));
     }
 
     #[test]
     fn objective_display() {
-        let o = Objective::MinTatUnderArea { max_overhead_cells: 100 };
+        let o = Objective::MinTatUnderArea {
+            max_overhead_cells: 100,
+        };
         assert!(o.to_string().contains("100"));
     }
 }

@@ -89,9 +89,9 @@ pub fn interconnect_report(soc: &Soc, plan: &DesignPoint) -> InterconnectReport 
             tested.push(ni);
             continue;
         }
-        let touches_memory = [&net.src, &net.dst].iter().any(|ep| {
-            matches!(ep, SocEndpoint::CorePort { core, .. } if soc.core(*core).is_memory())
-        });
+        let touches_memory = [&net.src, &net.dst].iter().any(
+            |ep| matches!(ep, SocEndpoint::CorePort { core, .. } if soc.core(*core).is_memory()),
+        );
         untested.push((
             ni,
             if touches_memory {
@@ -136,7 +136,12 @@ mod tests {
     fn system1_covers_its_logic_backbone() {
         let soc = socet_socs::barcode_system();
         let data = prepare(&soc);
-        let plan = schedule(&soc, &data, &vec![0; soc.cores().len()], &DftCosts::default());
+        let plan = schedule(
+            &soc,
+            &data,
+            &vec![0; soc.cores().len()],
+            &DftCosts::default(),
+        );
         let report = interconnect_report(&soc, &plan);
         // The PREPROCESSOR->CPU and CPU->DISPLAY data paths are routed
         // through, so the backbone is covered.

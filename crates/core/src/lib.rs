@@ -66,8 +66,10 @@
 
 pub mod ccg;
 pub mod controller;
+pub mod error;
 pub mod explore;
 pub mod interconnect;
+pub mod metrics;
 pub mod parallel;
 pub mod pareto;
 pub mod plan;
@@ -77,13 +79,15 @@ pub mod tester;
 
 pub use ccg::{Ccg, CcgEdge, CcgEdgeKind, CcgNode, Resource};
 pub use controller::{build_controller, TestController};
+pub use error::ScheduleError;
 pub use explore::{Explorer, Objective};
 pub use interconnect::{interconnect_report, InterconnectReport, UntestedReason};
+pub use metrics::Metrics;
 pub use parallel::{parallelize, ParallelSchedule};
 pub use pareto::{best_weighted, pareto_front};
-pub use report::render_plan;
 pub use plan::{CoreEpisode, CoreTestData, DesignPoint, SystemMux};
-pub use schedule::{schedule, schedule_with, RouteResult, Router};
+pub use report::render_plan;
+pub use schedule::{schedule, schedule_with, try_schedule, RouteResult, Router, Scheduler};
 pub use tester::{tester_program, validate_program, DriveAction, TesterProgram};
 
 #[cfg(test)]

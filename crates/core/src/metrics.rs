@@ -1,0 +1,153 @@
+//! Observability for the evaluation engine.
+//!
+//! Design-space exploration spends its time in three places — building (or
+//! patching) the CCG, reservation-aware routing, and plan assembly — and
+//! the interesting efficiency questions ("how many Dijkstra relaxations per
+//! point?", "how often does routing fall back to a system mux?", "how much
+//! of the graph did incremental patching actually rebuild?") are invisible
+//! from the outside. [`Metrics`] is a plain counter struct every stage
+//! increments; the [`Scheduler`](crate::schedule::Scheduler) owns one, the
+//! [`Explorer`](crate::explore::Explorer) aggregates across evaluations,
+//! and `soctool report --stats` / `fig10_design_space` print it.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and stage wall-times accumulated across evaluations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Design points evaluated (successful `Scheduler::evaluate` calls).
+    pub evaluations: u64,
+    /// CCGs built from scratch.
+    pub ccg_full_builds: u64,
+    /// Incremental per-core patches applied instead of full rebuilds.
+    pub ccg_incremental_patches: u64,
+    /// Edges written while building or patching CCGs (a full build counts
+    /// every edge; a patch counts only the stepped core's group).
+    pub ccg_edges_rebuilt: u64,
+    /// Routing requests issued (one per core port per evaluation).
+    pub route_attempts: u64,
+    /// Core episodes served from the route cache (a core's routes do not
+    /// depend on its own version choice, so sweeps revisit them often).
+    pub route_cache_hits: u64,
+    /// Edge relaxations performed inside Dijkstra.
+    pub dijkstra_relaxations: u64,
+    /// Ports no route could reach, resolved with a system-level test mux.
+    pub system_mux_fallbacks: u64,
+    /// Wall time spent building/patching CCGs.
+    pub build_time: Duration,
+    /// Wall time spent routing.
+    pub route_time: Duration,
+    /// Wall time spent assembling design points (overhead accounting,
+    /// sorting).
+    pub assemble_time: Duration,
+}
+
+impl Metrics {
+    /// A zeroed instance.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Folds `other` into `self` — used to aggregate per-worker metrics
+    /// after a parallel sweep.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.evaluations += other.evaluations;
+        self.ccg_full_builds += other.ccg_full_builds;
+        self.ccg_incremental_patches += other.ccg_incremental_patches;
+        self.ccg_edges_rebuilt += other.ccg_edges_rebuilt;
+        self.route_attempts += other.route_attempts;
+        self.route_cache_hits += other.route_cache_hits;
+        self.dijkstra_relaxations += other.dijkstra_relaxations;
+        self.system_mux_fallbacks += other.system_mux_fallbacks;
+        self.build_time += other.build_time;
+        self.route_time += other.route_time;
+        self.assemble_time += other.assemble_time;
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3} s", us as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "evaluation engine stats:")?;
+        writeln!(f, "  evaluations            : {}", self.evaluations)?;
+        writeln!(
+            f,
+            "  ccg builds             : {} full, {} incremental patches",
+            self.ccg_full_builds, self.ccg_incremental_patches
+        )?;
+        writeln!(f, "  ccg edges rebuilt      : {}", self.ccg_edges_rebuilt)?;
+        writeln!(f, "  route attempts         : {}", self.route_attempts)?;
+        writeln!(f, "  route cache hits       : {}", self.route_cache_hits)?;
+        writeln!(
+            f,
+            "  dijkstra relaxations   : {}",
+            self.dijkstra_relaxations
+        )?;
+        writeln!(
+            f,
+            "  system-mux fallbacks   : {}",
+            self.system_mux_fallbacks
+        )?;
+        write!(
+            f,
+            "  stage times            : build {}, route {}, assemble {}",
+            fmt_time(self.build_time),
+            fmt_time(self.route_time),
+            fmt_time(self.assemble_time)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = Metrics {
+            evaluations: 1,
+            ccg_full_builds: 2,
+            ccg_incremental_patches: 3,
+            ccg_edges_rebuilt: 4,
+            route_attempts: 5,
+            route_cache_hits: 11,
+            dijkstra_relaxations: 6,
+            system_mux_fallbacks: 7,
+            build_time: Duration::from_micros(8),
+            route_time: Duration::from_micros(9),
+            assemble_time: Duration::from_micros(10),
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.evaluations, 2);
+        assert_eq!(a.ccg_edges_rebuilt, 8);
+        assert_eq!(a.system_mux_fallbacks, 14);
+        assert_eq!(a.route_time, Duration::from_micros(18));
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let m = Metrics::new();
+        let s = m.to_string();
+        for needle in [
+            "evaluations",
+            "ccg builds",
+            "relaxations",
+            "system-mux",
+            "stage times",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

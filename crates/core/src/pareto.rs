@@ -56,16 +56,11 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<&DesignPoint> {
 ///
 /// With `w_tat = 1, w_area = 0` this is the unconstrained version of the
 /// paper's objective (i); with `w_tat = 0, w_area = 1`, of objective (ii).
-pub fn best_weighted(
-    points: &[DesignPoint],
-    w_tat: f64,
-    w_area: f64,
-) -> Option<&DesignPoint> {
+pub fn best_weighted(points: &[DesignPoint], w_tat: f64, w_area: f64) -> Option<&DesignPoint> {
     let lib = CellLibrary::generic_08um();
     points.iter().min_by(|a, b| {
         let score = |p: &DesignPoint| {
-            w_tat * p.test_application_time() as f64
-                + w_area * p.overhead_cells(&lib) as f64
+            w_tat * p.test_application_time() as f64 + w_area * p.overhead_cells(&lib) as f64
         };
         score(a)
             .partial_cmp(&score(b))
@@ -149,7 +144,11 @@ mod tests {
         let min_tat = best_weighted(&points, 1.0, 0.0).unwrap();
         assert_eq!(
             min_tat.test_application_time(),
-            points.iter().map(|p| p.test_application_time()).min().unwrap()
+            points
+                .iter()
+                .map(|p| p.test_application_time())
+                .min()
+                .unwrap()
         );
         let min_area = best_weighted(&points, 0.0, 1.0).unwrap();
         assert_eq!(

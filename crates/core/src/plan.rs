@@ -48,7 +48,11 @@ impl fmt::Display for SystemMux {
         write!(
             f,
             "system mux {} {}.{} ({} bits)",
-            if self.controls_input { "into" } else { "out of" },
+            if self.controls_input {
+                "into"
+            } else {
+                "out of"
+            },
             self.core,
             self.port,
             self.width

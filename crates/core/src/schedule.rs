@@ -7,13 +7,26 @@
 //! and a later path that wants the same resources waits (the core clocks
 //! are freezable, so data can be held). When no route exists at all, a
 //! system-level test multiplexer connects the port straight to a chip pin.
+//!
+//! Evaluation is organized around a reusable [`Scheduler`] that runs three
+//! stages per design point — **build** (construct or incrementally patch
+//! the [`Ccg`]), **route** (reservation-aware path search per core under
+//! test), **assemble** (overhead accounting and plan normalization) — and
+//! keeps its Dijkstra scratch (distance/predecessor arrays, heap,
+//! reservation table) alive across evaluations. The §5.2 improvement loop
+//! and the Fig. 10 sweep evaluate thousands of adjacent points; reusing
+//! the graph and the scratch is what makes them cheap. The free functions
+//! [`schedule`]/[`schedule_with`] remain as one-shot wrappers.
 
 use crate::ccg::{Ccg, CcgEdgeKind, CcgNode, Resource};
+use crate::error::ScheduleError;
+use crate::metrics::Metrics;
 use crate::plan::{CoreEpisode, CoreTestData, DesignPoint, SystemMux};
 use socet_cells::{AreaReport, CellKind, DftCosts};
 use socet_rtl::{CoreInstanceId, PortId, Soc};
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
 
 /// A routed path: its arrival time and the transparency pairs it crossed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +43,17 @@ pub struct RouteResult {
     pub crossed_nets: Vec<usize>,
 }
 
+/// Reusable routing workspace: Dijkstra arrays, the priority queue and the
+/// reservation table. Owned by a [`Scheduler`] between evaluations so the
+/// hot loop never reallocates them.
+#[derive(Debug, Default)]
+struct RouterScratch {
+    dist: Vec<u32>,
+    pred: Vec<Option<(usize, u32)>>,
+    heap: BinaryHeap<Reverse<(u32, usize)>>,
+    reservations: HashMap<Resource, Vec<(u32, u32)>>,
+}
+
 /// Reservation-aware router over one CCG. Reservations accumulate across
 /// routes, so the order of [`Router::route_to_input`] calls matters — the
 /// scheduler routes a core's inputs in declaration order, exactly like the
@@ -37,18 +61,16 @@ pub struct RouteResult {
 #[derive(Debug)]
 pub struct Router<'a> {
     ccg: &'a Ccg,
-    reservations: HashMap<Resource, Vec<(u32, u32)>>,
+    scratch: RouterScratch,
     enforce: bool,
+    relaxations: u64,
+    attempts: u64,
 }
 
 impl<'a> Router<'a> {
     /// A router with no reservations.
     pub fn new(ccg: &'a Ccg) -> Self {
-        Router {
-            ccg,
-            reservations: HashMap::new(),
-            enforce: true,
-        }
+        Router::with_scratch(ccg, RouterScratch::default(), true)
     }
 
     /// A router that *ignores* resource conflicts — the ablation baseline
@@ -57,11 +79,27 @@ impl<'a> Router<'a> {
     /// transfers through shared transparency logic are impossible in
     /// hardware.
     pub fn new_unconstrained(ccg: &'a Ccg) -> Self {
+        Router::with_scratch(ccg, RouterScratch::default(), false)
+    }
+
+    /// A router recycling a previous router's buffers. Reservations are
+    /// cleared (each core under test starts with an idle chip); the arrays
+    /// keep their capacity.
+    fn with_scratch(ccg: &'a Ccg, mut scratch: RouterScratch, enforce: bool) -> Self {
+        scratch.reservations.clear();
+        scratch.heap.clear();
         Router {
             ccg,
-            reservations: HashMap::new(),
-            enforce: false,
+            scratch,
+            enforce,
+            relaxations: 0,
+            attempts: 0,
         }
+    }
+
+    /// Returns the workspace and the `(relaxations, attempts)` counters.
+    fn dismantle(self) -> (RouterScratch, u64, u64) {
+        (self.scratch, self.relaxations, self.attempts)
     }
 
     /// Routes test data from any chip PI to `target` (a `CoreIn` node),
@@ -72,8 +110,8 @@ impl<'a> Router<'a> {
         target: usize,
         exclude: CoreInstanceId,
     ) -> Option<RouteResult> {
-        let sources: Vec<usize> = self.ccg.pi_nodes().to_vec();
-        self.dijkstra(&sources, |n| n == target, exclude)
+        let ccg = self.ccg;
+        self.dijkstra(ccg.pi_nodes(), |n| n == target, exclude)
     }
 
     /// Routes a response from `source` (a `CoreOut` node) to any chip PO,
@@ -83,42 +121,8 @@ impl<'a> Router<'a> {
         source: usize,
         exclude: CoreInstanceId,
     ) -> Option<RouteResult> {
-        let pos: Vec<usize> = self.ccg.po_nodes().to_vec();
-        self.dijkstra(&[source], |n| pos.contains(&n), exclude)
-    }
-
-    /// Earliest `t' >= t` at which all `resources` are free for
-    /// `[t', t'+dur)`.
-    fn earliest_start(&self, resources: &[Resource], mut t: u32, dur: u32) -> u32 {
-        if !self.enforce {
-            return t;
-        }
-        loop {
-            let mut pushed = None;
-            for r in resources {
-                if let Some(intervals) = self.reservations.get(r) {
-                    for &(a, b) in intervals {
-                        if t < b && a < t + dur {
-                            let candidate = b;
-                            pushed = Some(pushed.map_or(candidate, |p: u32| p.max(candidate)));
-                        }
-                    }
-                }
-            }
-            match pushed {
-                Some(nt) => t = nt,
-                None => return t,
-            }
-        }
-    }
-
-    fn reserve(&mut self, resources: &[Resource], start: u32, dur: u32) {
-        for r in resources {
-            self.reservations
-                .entry(*r)
-                .or_default()
-                .push((start, start + dur));
-        }
+        let ccg = self.ccg;
+        self.dijkstra(&[source], |n| ccg.po_nodes().contains(&n), exclude)
     }
 
     fn dijkstra(
@@ -127,25 +131,33 @@ impl<'a> Router<'a> {
         is_target: impl Fn(usize) -> bool,
         exclude: CoreInstanceId,
     ) -> Option<RouteResult> {
-        let n = self.ccg.nodes().len();
-        let mut dist = vec![u32::MAX; n];
-        let mut pred: Vec<Option<(usize, u32)>> = vec![None; n]; // (edge, start)
-        let mut heap = BinaryHeap::new();
+        self.attempts += 1;
+        let ccg = self.ccg;
+        let enforce = self.enforce;
+        let scratch = &mut self.scratch;
+        let n = ccg.nodes().len();
+        scratch.dist.clear();
+        scratch.dist.resize(n, u32::MAX);
+        scratch.pred.clear();
+        scratch.pred.resize(n, None);
+        scratch.heap.clear();
         for &s in sources {
-            dist[s] = 0;
-            heap.push(Reverse((0u32, s)));
+            scratch.dist[s] = 0;
+            scratch.heap.push(Reverse((0u32, s)));
         }
         let mut best_target = None;
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if d > dist[u] {
+        let mut relaxations = 0u64;
+        while let Some(Reverse((d, u))) = scratch.heap.pop() {
+            if d > scratch.dist[u] {
                 continue;
             }
             if is_target(u) {
                 best_target = Some(u);
                 break;
             }
-            for &ei in self.ccg.edges_from(u) {
-                let e = &self.ccg.edges()[ei];
+            for &ei in ccg.edges_from(u) {
+                let e = &ccg.edges()[ei];
+                relaxations += 1;
                 if let CcgEdgeKind::Transparency { core, .. } = e.kind {
                     if core == exclude {
                         continue;
@@ -155,37 +167,38 @@ impl<'a> Router<'a> {
                     CcgEdgeKind::Interconnect { .. } => (d, d),
                     CcgEdgeKind::Transparency { .. } => {
                         let dur = e.latency.max(1);
-                        let start = self.earliest_start(&e.resources, d, dur);
+                        let start =
+                            earliest_start(&scratch.reservations, enforce, &e.resources, d, dur);
                         (start, start + e.latency)
                     }
                 };
-                if arrival < dist[e.to] {
-                    dist[e.to] = arrival;
-                    pred[e.to] = Some((ei, start));
-                    heap.push(Reverse((arrival, e.to)));
+                if arrival < scratch.dist[e.to] {
+                    scratch.dist[e.to] = arrival;
+                    scratch.pred[e.to] = Some((ei, start));
+                    scratch.heap.push(Reverse((arrival, e.to)));
                 }
             }
         }
+        self.relaxations += relaxations;
         let target = best_target?;
         // Walk back, reserving and collecting transparency pairs.
         let mut used_pairs = Vec::new();
         let mut crossed_nets = Vec::new();
         let mut node = target;
         let mut terminal = target;
-        while let Some((ei, start)) = pred[node] {
-            let e = &self.ccg.edges()[ei];
+        while let Some((ei, start)) = scratch.pred[node] {
+            let e = &ccg.edges()[ei];
             if let CcgEdgeKind::Interconnect { net } = e.kind {
                 crossed_nets.push(net);
             }
             if let CcgEdgeKind::Transparency { core, .. } = e.kind {
                 let dur = e.latency.max(1);
-                let resources = e.resources.clone();
-                self.reserve(&resources, start, dur);
-                let input = match self.ccg.nodes()[e.from] {
+                reserve(&mut scratch.reservations, &e.resources, start, dur);
+                let input = match ccg.nodes()[e.from] {
                     CcgNode::CoreIn(_, p) => p,
                     other => unreachable!("transparency edge from {other}"),
                 };
-                let output = match self.ccg.nodes()[e.to] {
+                let output = match ccg.nodes()[e.to] {
                     CcgNode::CoreOut(_, p) => p,
                     other => unreachable!("transparency edge into {other}"),
                 };
@@ -199,13 +212,13 @@ impl<'a> Router<'a> {
         // reached; report whichever end is a chip pin.
         let pin = [terminal, target]
             .into_iter()
-            .find_map(|n| match self.ccg.nodes()[n] {
+            .find_map(|n| match ccg.nodes()[n] {
                 CcgNode::Pi(p) | CcgNode::Po(p) => Some(p),
                 _ => None,
             });
         crossed_nets.reverse();
         Some(RouteResult {
-            arrival: dist[target],
+            arrival: scratch.dist[target],
             used_pairs,
             pin,
             crossed_nets,
@@ -213,24 +226,481 @@ impl<'a> Router<'a> {
     }
 }
 
+/// Earliest `t' >= t` at which all `resources` are free for `[t', t'+dur)`.
+fn earliest_start(
+    reservations: &HashMap<Resource, Vec<(u32, u32)>>,
+    enforce: bool,
+    resources: &[Resource],
+    mut t: u32,
+    dur: u32,
+) -> u32 {
+    if !enforce {
+        return t;
+    }
+    loop {
+        let mut pushed = None;
+        for r in resources {
+            if let Some(intervals) = reservations.get(r) {
+                for &(a, b) in intervals {
+                    if t < b && a < t + dur {
+                        let candidate = b;
+                        pushed = Some(pushed.map_or(candidate, |p: u32| p.max(candidate)));
+                    }
+                }
+            }
+        }
+        match pushed {
+            Some(nt) => t = nt,
+            None => return t,
+        }
+    }
+}
+
+fn reserve(
+    reservations: &mut HashMap<Resource, Vec<(u32, u32)>>,
+    resources: &[Resource],
+    start: u32,
+    dur: u32,
+) {
+    for r in resources {
+        reservations
+            .entry(*r)
+            .or_default()
+            .push((start, start + dur));
+    }
+}
+
+/// The routed (but not yet cost-accounted) output of the route stage.
+struct RoutedPlan {
+    episodes: Vec<CoreEpisode>,
+    system_muxes: Vec<SystemMux>,
+    pair_usage: HashMap<(CoreInstanceId, PortId, PortId), u32>,
+    tested_nets: HashSet<usize>,
+}
+
+/// Everything the route stage produces for one core under test. A core's
+/// routes never use its own transparency edges, so the outcome depends
+/// only on the *other* cores' version choices — cacheable under that key.
+#[derive(Debug, Clone)]
+struct CoreRouteOutcome {
+    episode: CoreEpisode,
+    muxes: Vec<SystemMux>,
+    pair_usage: Vec<((CoreInstanceId, PortId, PortId), u32)>,
+    tested_nets: Vec<usize>,
+}
+
+/// Bound on cached per-core route outcomes before the cache is reset —
+/// a backstop for very large design spaces, far above any paper system.
+const ROUTE_CACHE_CAP: usize = 65_536;
+
+/// Reusable, incremental, instrumented evaluation engine for one SOC.
+///
+/// A `Scheduler` caches the [`Ccg`] of the last evaluated choice and the
+/// router's scratch buffers. Evaluating a neighbouring choice — the common
+/// case in the §5.2 loop and in a lexicographic sweep — patches only the
+/// stepped cores' edge groups and reuses every allocation. All failure
+/// modes are typed ([`ScheduleError`]); [`Metrics`] counts what each stage
+/// did.
+///
+/// # Examples
+///
+/// ```
+/// # use socet_rtl::{CoreBuilder, Direction, SocBuilder};
+/// # use socet_hscan::insert_hscan;
+/// # use socet_cells::DftCosts;
+/// # use socet_transparency::synthesize_versions;
+/// # use socet_core::{CoreTestData, Scheduler};
+/// # use std::sync::Arc;
+/// # let mut b = CoreBuilder::new("buf");
+/// # let i = b.port("i", Direction::In, 8).unwrap();
+/// # let o = b.port("o", Direction::Out, 8).unwrap();
+/// # let r = b.register("r", 8).unwrap();
+/// # b.connect_port_to_reg(i, r).unwrap();
+/// # b.connect_reg_to_port(r, o).unwrap();
+/// # let core = Arc::new(b.build().unwrap());
+/// # let mut sb = SocBuilder::new("chip");
+/// # let pi = sb.input_pin("pi", 8).unwrap();
+/// # let po = sb.output_pin("po", 8).unwrap();
+/// # let u0 = sb.instantiate("u0", core.clone()).unwrap();
+/// # sb.connect_pin_to_core(pi, u0, i).unwrap();
+/// # sb.connect_core_to_pin(u0, o, po).unwrap();
+/// # let soc = sb.build().unwrap();
+/// # let costs = DftCosts::default();
+/// # let hscan = insert_hscan(&core, &costs);
+/// # let data = vec![Some(CoreTestData {
+/// #     versions: synthesize_versions(&core, &hscan, &costs),
+/// #     hscan,
+/// #     scan_vectors: 10,
+/// # })];
+/// let mut scheduler = Scheduler::new(&soc, &data, &costs);
+/// let slow = scheduler.evaluate(&[0])?;
+/// let fast = scheduler.evaluate(&[2])?; // patches one core, reuses buffers
+/// assert!(fast.test_application_time() <= slow.test_application_time());
+/// assert_eq!(scheduler.metrics().evaluations, 2);
+/// assert_eq!(scheduler.metrics().ccg_incremental_patches, 1);
+/// # Ok::<(), socet_core::ScheduleError>(())
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    soc: &'a Soc,
+    data: &'a [Option<CoreTestData>],
+    costs: DftCosts,
+    enforce: bool,
+    ccg: Option<Ccg>,
+    choice: Vec<usize>,
+    scratch: Option<RouterScratch>,
+    route_cache: HashMap<(CoreInstanceId, Vec<usize>), CoreRouteOutcome>,
+    metrics: Metrics,
+}
+
+impl<'a> Scheduler<'a> {
+    /// An engine over `soc` with reservations enforced (the paper's
+    /// behaviour).
+    pub fn new(soc: &'a Soc, data: &'a [Option<CoreTestData>], costs: &DftCosts) -> Self {
+        Scheduler {
+            soc,
+            data,
+            costs: *costs,
+            enforce: true,
+            ccg: None,
+            choice: Vec::new(),
+            scratch: None,
+            route_cache: HashMap::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Switches the reservation machinery — `false` is the ablation
+    /// baseline of [`schedule_with`].
+    pub fn with_reservations(mut self, enforce: bool) -> Self {
+        self.enforce = enforce;
+        // Cached graph and routes were computed under the old setting.
+        self.ccg = None;
+        self.choice.clear();
+        self.route_cache.clear();
+        self
+    }
+
+    /// Counters accumulated since construction (or the last
+    /// [`Scheduler::take_metrics`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Returns the accumulated metrics and resets them to zero.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Routes and schedules one version choice: build → route → assemble.
+    pub fn evaluate(&mut self, choice: &[usize]) -> Result<DesignPoint, ScheduleError> {
+        self.build_stage(choice)?;
+        let ccg = self.ccg.take().expect("build stage just set the graph");
+        let routed = self.route_stage(&ccg, choice);
+        self.ccg = Some(ccg);
+        let routed = routed?;
+        let t = Instant::now();
+        let dp = self.assemble_stage(choice, routed)?;
+        self.metrics.assemble_time += t.elapsed();
+        self.metrics.evaluations += 1;
+        Ok(dp)
+    }
+
+    /// Build stage: construct the CCG, or — when one is cached for a
+    /// same-length choice — patch only the cores whose version changed.
+    fn build_stage(&mut self, choice: &[usize]) -> Result<(), ScheduleError> {
+        let t = Instant::now();
+        let result = self.build_stage_inner(choice);
+        self.metrics.build_time += t.elapsed();
+        match result {
+            Ok(()) => {
+                self.choice.clear();
+                self.choice.extend_from_slice(choice);
+                Ok(())
+            }
+            Err(e) => {
+                // A failed patch may have been applied partially; drop the
+                // graph so the next evaluation rebuilds from scratch.
+                self.ccg = None;
+                self.choice.clear();
+                Err(e)
+            }
+        }
+    }
+
+    fn build_stage_inner(&mut self, choice: &[usize]) -> Result<(), ScheduleError> {
+        if choice.len() < self.soc.cores().len() {
+            return Err(ScheduleError::ChoiceLengthMismatch {
+                expected: self.soc.cores().len(),
+                got: choice.len(),
+            });
+        }
+        match self.ccg.take() {
+            Some(mut ccg) if self.choice.len() == choice.len() => {
+                for cid in self.soc.logic_cores() {
+                    let (old, new) = (self.choice[cid.index()], choice[cid.index()]);
+                    if old != new {
+                        let written = ccg.step_core(cid, self.data, new)?;
+                        self.metrics.ccg_incremental_patches += 1;
+                        self.metrics.ccg_edges_rebuilt += written as u64;
+                    }
+                }
+                self.ccg = Some(ccg);
+            }
+            _ => {
+                let ccg = Ccg::try_build(self.soc, self.data, choice)?;
+                self.metrics.ccg_full_builds += 1;
+                self.metrics.ccg_edges_rebuilt += ccg.edges().len() as u64;
+                self.ccg = Some(ccg);
+            }
+        }
+        Ok(())
+    }
+
+    /// Route stage: test-path identification for every core under test.
+    /// Cores are tested one after another (episode order = declaration
+    /// order); each episode gets a fresh reservation table because nothing
+    /// else is in flight while a core is under test.
+    ///
+    /// A core under test never routes through its own transparency, so its
+    /// outcome depends only on the other cores' choices; outcomes are
+    /// cached under that key and replayed on revisit.
+    fn route_stage(&mut self, ccg: &Ccg, choice: &[usize]) -> Result<RoutedPlan, ScheduleError> {
+        let t = Instant::now();
+        let result = self.route_stage_inner(ccg, choice);
+        self.metrics.route_time += t.elapsed();
+        result
+    }
+
+    fn route_stage_inner(
+        &mut self,
+        ccg: &Ccg,
+        choice: &[usize],
+    ) -> Result<RoutedPlan, ScheduleError> {
+        let mut routed = RoutedPlan {
+            episodes: Vec::new(),
+            system_muxes: Vec::new(),
+            pair_usage: HashMap::new(),
+            tested_nets: HashSet::new(),
+        };
+        for cid in self.soc.logic_cores() {
+            // The cache key: the full choice vector with the core's own
+            // slot masked out (its value cannot affect the outcome).
+            let mut key = choice.to_vec();
+            key[cid.index()] = usize::MAX;
+            if let Some(outcome) = self.route_cache.get(&(cid, key.clone())) {
+                self.metrics.route_cache_hits += 1;
+                routed.merge(outcome);
+                continue;
+            }
+            let outcome = self.route_core(ccg, cid)?;
+            routed.merge(&outcome);
+            if self.route_cache.len() >= ROUTE_CACHE_CAP {
+                self.route_cache.clear();
+            }
+            self.route_cache.insert((cid, key), outcome);
+        }
+        Ok(routed)
+    }
+
+    /// Routes every port of one core under test.
+    fn route_core(
+        &mut self,
+        ccg: &Ccg,
+        cid: CoreInstanceId,
+    ) -> Result<CoreRouteOutcome, ScheduleError> {
+        let core = self.soc.core(cid).core();
+        let td = self.data[cid.index()]
+            .as_ref()
+            .ok_or(ScheduleError::MissingCoreData { core: cid })?;
+        let mut router =
+            Router::with_scratch(ccg, self.scratch.take().unwrap_or_default(), self.enforce);
+        let mut outcome = CoreRouteOutcome {
+            episode: CoreEpisode {
+                core: cid,
+                per_vector_cycles: 0,
+                tail_cycles: 0,
+                hscan_vectors: td.hscan_vectors() as u64,
+                input_arrivals: Vec::new(),
+                output_arrivals: Vec::new(),
+                transit_cores: Vec::new(),
+                pins: Vec::new(),
+            },
+            muxes: Vec::new(),
+            pair_usage: Vec::new(),
+            tested_nets: Vec::new(),
+        };
+
+        for p in core.input_ports() {
+            let node = ccg
+                .find(CcgNode::CoreIn(cid, p))
+                .ok_or(ScheduleError::PortNotInCcg { core: cid, port: p })?;
+            match router.route_to_input(node, cid) {
+                Some(route) => {
+                    outcome.absorb_route(&route);
+                    outcome.episode.input_arrivals.push((p, route.arrival));
+                }
+                None => {
+                    self.metrics.system_mux_fallbacks += 1;
+                    push_mux(
+                        &mut outcome.muxes,
+                        SystemMux {
+                            core: cid,
+                            port: p,
+                            controls_input: true,
+                            width: core.port(p).width(),
+                        },
+                    );
+                    outcome.episode.input_arrivals.push((p, 0));
+                }
+            }
+        }
+        for p in core.output_ports() {
+            let node = ccg
+                .find(CcgNode::CoreOut(cid, p))
+                .ok_or(ScheduleError::PortNotInCcg { core: cid, port: p })?;
+            match router.route_from_output(node, cid) {
+                Some(route) => {
+                    outcome.absorb_route(&route);
+                    outcome.episode.output_arrivals.push((p, route.arrival));
+                }
+                None => {
+                    self.metrics.system_mux_fallbacks += 1;
+                    push_mux(
+                        &mut outcome.muxes,
+                        SystemMux {
+                            core: cid,
+                            port: p,
+                            controls_input: false,
+                            width: core.port(p).width(),
+                        },
+                    );
+                    outcome.episode.output_arrivals.push((p, 0));
+                }
+            }
+        }
+
+        let (scratch, relaxations, attempts) = router.dismantle();
+        self.scratch = Some(scratch);
+        self.metrics.dijkstra_relaxations += relaxations;
+        self.metrics.route_attempts += attempts;
+
+        let ep = &mut outcome.episode;
+        let max_in = ep.input_arrivals.iter().map(|(_, a)| *a).max().unwrap_or(0);
+        let max_out = ep
+            .output_arrivals
+            .iter()
+            .map(|(_, a)| *a)
+            .max()
+            .unwrap_or(0);
+        ep.per_vector_cycles = max_in.max(max_out).max(1);
+        let depth = td.hscan.sequential_depth() as u32;
+        ep.tail_cycles = depth.saturating_sub(1) + max_out;
+        Ok(outcome)
+    }
+
+    /// Assemble stage: chip-level overhead accounting — selected
+    /// transparency versions + system muxes + test controller + clock
+    /// gating — and plan normalization.
+    fn assemble_stage(
+        &mut self,
+        choice: &[usize],
+        routed: RoutedPlan,
+    ) -> Result<DesignPoint, ScheduleError> {
+        let mut chip_overhead = AreaReport::new();
+        for cid in self.soc.logic_cores() {
+            let td = self.data[cid.index()]
+                .as_ref()
+                .ok_or(ScheduleError::MissingCoreData { core: cid })?;
+            chip_overhead += td.versions[choice[cid.index()]].overhead().clone();
+        }
+        for m in &routed.system_muxes {
+            chip_overhead.tally(
+                CellKind::Mux2,
+                self.costs.system_test_mux_per_bit * u64::from(m.width),
+            );
+        }
+        chip_overhead.tally(CellKind::And2, self.costs.test_controller_cells);
+        chip_overhead.tally(
+            CellKind::And2,
+            self.costs.clock_gate_per_core * self.soc.logic_cores().len() as u64,
+        );
+
+        let mut usage: Vec<_> = routed.pair_usage.into_iter().collect();
+        usage.sort_by_key(|((c, i, o), _)| (c.index(), i.index(), o.index()));
+        let mut tested: Vec<usize> = routed.tested_nets.into_iter().collect();
+        tested.sort_unstable();
+        Ok(DesignPoint {
+            choice: choice.to_vec(),
+            chip_overhead,
+            episodes: routed.episodes,
+            system_muxes: routed.system_muxes,
+            pair_usage: usage,
+            tested_nets: tested,
+        })
+    }
+}
+
+impl RoutedPlan {
+    /// Folds one core's routed outcome into the accumulating plan.
+    fn merge(&mut self, outcome: &CoreRouteOutcome) {
+        self.episodes.push(outcome.episode.clone());
+        self.system_muxes.extend(outcome.muxes.iter().copied());
+        for (pair, count) in &outcome.pair_usage {
+            *self.pair_usage.entry(*pair).or_default() += count;
+        }
+        self.tested_nets.extend(outcome.tested_nets.iter().copied());
+    }
+}
+
+impl CoreRouteOutcome {
+    /// Folds one route's pair usage, transit cores, pins and crossed nets
+    /// into this core's outcome.
+    fn absorb_route(&mut self, route: &RouteResult) {
+        for pair in &route.used_pairs {
+            match self.pair_usage.iter_mut().find(|(p, _)| p == pair) {
+                Some((_, count)) => *count += 1,
+                None => self.pair_usage.push((*pair, 1)),
+            }
+            if !self.episode.transit_cores.contains(&pair.0) {
+                self.episode.transit_cores.push(pair.0);
+            }
+        }
+        if let Some(pin) = route.pin {
+            if !self.episode.pins.contains(&pin) {
+                self.episode.pins.push(pin);
+            }
+        }
+        self.tested_nets.extend(route.crossed_nets.iter().copied());
+    }
+}
+
 /// Routes and schedules the complete test of `soc` under a version choice,
 /// producing a [`DesignPoint`].
 ///
-/// Cores are tested one after another (episode order = declaration order);
-/// each episode gets a fresh reservation table because nothing else is in
-/// flight while a core is under test.
+/// One-shot wrapper over [`Scheduler`].
 ///
 /// # Panics
 ///
 /// Panics if a logic core lacks test data or its choice index is out of
-/// range.
+/// range. Use [`try_schedule`] for the typed-error contract.
 pub fn schedule(
     soc: &Soc,
     data: &[Option<CoreTestData>],
     choice: &[usize],
     costs: &DftCosts,
 ) -> DesignPoint {
-    schedule_with(soc, data, choice, costs, true)
+    try_schedule(soc, data, choice, costs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`schedule`].
+pub fn try_schedule(
+    soc: &Soc,
+    data: &[Option<CoreTestData>],
+    choice: &[usize],
+    costs: &DftCosts,
+) -> Result<DesignPoint, ScheduleError> {
+    Scheduler::new(soc, data, costs).evaluate(choice)
 }
 
 /// Like [`schedule`] but with the reservation machinery switchable —
@@ -244,137 +714,10 @@ pub fn schedule_with(
     costs: &DftCosts,
     reservations: bool,
 ) -> DesignPoint {
-    let ccg = Ccg::build(soc, data, choice);
-    let mut episodes = Vec::new();
-    let mut system_muxes: Vec<SystemMux> = Vec::new();
-    let mut pair_usage: HashMap<(CoreInstanceId, PortId, PortId), u32> = HashMap::new();
-    let mut tested_nets: std::collections::HashSet<usize> = std::collections::HashSet::new();
-
-    for cid in soc.logic_cores() {
-        let inst = soc.core(cid);
-        let core = inst.core();
-        let td = data[cid.index()].as_ref().expect("logic core test data");
-        let mut router = if reservations {
-            Router::new(&ccg)
-        } else {
-            Router::new_unconstrained(&ccg)
-        };
-        let mut input_arrivals = Vec::new();
-        let mut output_arrivals = Vec::new();
-        let mut transit: Vec<CoreInstanceId> = Vec::new();
-        let mut pins: Vec<socet_rtl::ChipPinId> = Vec::new();
-
-        for p in core.input_ports() {
-            let node = ccg
-                .find(CcgNode::CoreIn(cid, p))
-                .expect("core inputs are CCG nodes");
-            match router.route_to_input(node, cid) {
-                Some(route) => {
-                    for pair in &route.used_pairs {
-                        *pair_usage.entry(*pair).or_default() += 1;
-                        if !transit.contains(&pair.0) {
-                            transit.push(pair.0);
-                        }
-                    }
-                    if let Some(pin) = route.pin {
-                        if !pins.contains(&pin) {
-                            pins.push(pin);
-                        }
-                    }
-                    tested_nets.extend(route.crossed_nets.iter().copied());
-                    input_arrivals.push((p, route.arrival));
-                }
-                None => {
-                    push_mux(&mut system_muxes, SystemMux {
-                        core: cid,
-                        port: p,
-                        controls_input: true,
-                        width: core.port(p).width(),
-                    });
-                    input_arrivals.push((p, 0));
-                }
-            }
-        }
-        for p in core.output_ports() {
-            let node = ccg
-                .find(CcgNode::CoreOut(cid, p))
-                .expect("core outputs are CCG nodes");
-            match router.route_from_output(node, cid) {
-                Some(route) => {
-                    for pair in &route.used_pairs {
-                        *pair_usage.entry(*pair).or_default() += 1;
-                        if !transit.contains(&pair.0) {
-                            transit.push(pair.0);
-                        }
-                    }
-                    if let Some(pin) = route.pin {
-                        if !pins.contains(&pin) {
-                            pins.push(pin);
-                        }
-                    }
-                    tested_nets.extend(route.crossed_nets.iter().copied());
-                    output_arrivals.push((p, route.arrival));
-                }
-                None => {
-                    push_mux(&mut system_muxes, SystemMux {
-                        core: cid,
-                        port: p,
-                        controls_input: false,
-                        width: core.port(p).width(),
-                    });
-                    output_arrivals.push((p, 0));
-                }
-            }
-        }
-
-        let max_in = input_arrivals.iter().map(|(_, a)| *a).max().unwrap_or(0);
-        let max_out = output_arrivals.iter().map(|(_, a)| *a).max().unwrap_or(0);
-        let per_vector = max_in.max(max_out).max(1);
-        let depth = td.hscan.sequential_depth() as u32;
-        let tail = depth.saturating_sub(1) + max_out;
-        episodes.push(CoreEpisode {
-            core: cid,
-            per_vector_cycles: per_vector,
-            tail_cycles: tail,
-            hscan_vectors: td.hscan_vectors() as u64,
-            input_arrivals,
-            output_arrivals,
-            transit_cores: transit,
-            pins,
-        });
-    }
-
-    // Chip-level overhead: selected transparency versions + system muxes +
-    // test controller + clock gating.
-    let mut chip_overhead = AreaReport::new();
-    for cid in soc.logic_cores() {
-        let td = data[cid.index()].as_ref().expect("logic core test data");
-        chip_overhead += td.versions[choice[cid.index()]].overhead().clone();
-    }
-    for m in &system_muxes {
-        chip_overhead.tally(
-            CellKind::Mux2,
-            costs.system_test_mux_per_bit * u64::from(m.width),
-        );
-    }
-    chip_overhead.tally(CellKind::And2, costs.test_controller_cells);
-    chip_overhead.tally(
-        CellKind::And2,
-        costs.clock_gate_per_core * soc.logic_cores().len() as u64,
-    );
-
-    let mut usage: Vec<_> = pair_usage.into_iter().collect();
-    usage.sort_by_key(|((c, i, o), _)| (c.index(), i.index(), o.index()));
-    let mut tested: Vec<usize> = tested_nets.into_iter().collect();
-    tested.sort_unstable();
-    DesignPoint {
-        choice: choice.to_vec(),
-        chip_overhead,
-        episodes,
-        system_muxes,
-        pair_usage: usage,
-        tested_nets: tested,
-    }
+    Scheduler::new(soc, data, costs)
+        .with_reservations(reservations)
+        .evaluate(choice)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn push_mux(muxes: &mut Vec<SystemMux>, m: SystemMux) {
@@ -600,5 +943,78 @@ mod tests {
         let arrivals: Vec<u32> = ep1.input_arrivals.iter().map(|(_, t)| *t).collect();
         assert_eq!(arrivals, vec![1, 2]);
         assert_eq!(ep1.per_vector_cycles, 2);
+    }
+
+    #[test]
+    fn try_schedule_reports_missing_data_instead_of_panicking() {
+        let (soc, mut data) = chain_soc(2);
+        data[1] = None;
+        let err = try_schedule(&soc, &data, &[0, 0], &DftCosts::default());
+        assert!(matches!(
+            err,
+            Err(ScheduleError::MissingCoreData { core }) if core.index() == 1
+        ));
+    }
+
+    #[test]
+    fn try_schedule_reports_out_of_range_choice() {
+        let (soc, data) = chain_soc(2);
+        let err = try_schedule(&soc, &data, &[0, 9], &DftCosts::default());
+        assert!(matches!(
+            err,
+            Err(ScheduleError::ChoiceOutOfRange {
+                choice: 9,
+                versions: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn try_schedule_reports_short_choice_vector() {
+        let (soc, data) = chain_soc(2);
+        let err = try_schedule(&soc, &data, &[0], &DftCosts::default());
+        assert!(matches!(
+            err,
+            Err(ScheduleError::ChoiceLengthMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn reused_scheduler_matches_one_shot_schedules() {
+        let (soc, data) = chain_soc(3);
+        let costs = DftCosts::default();
+        let mut sched = Scheduler::new(&soc, &data, &costs);
+        // Walk a version ladder up and back down with one engine; every
+        // point must be bit-identical to a fresh one-shot schedule.
+        for choice in [[0, 0], [1, 0], [1, 2], [0, 2], [0, 0]] {
+            let reused = sched.evaluate(&choice).unwrap();
+            let fresh = schedule(&soc, &data, &choice, &costs);
+            assert_eq!(format!("{reused:?}"), format!("{fresh:?}"), "at {choice:?}");
+        }
+        let m = sched.metrics();
+        assert_eq!(m.evaluations, 5);
+        assert_eq!(m.ccg_full_builds, 1);
+        // Four follow-up evaluations, each stepping one or two cores.
+        assert!(m.ccg_incremental_patches >= 4, "{m}");
+        assert!(m.route_attempts > 0);
+        assert!(m.dijkstra_relaxations > 0);
+    }
+
+    #[test]
+    fn scheduler_recovers_after_error() {
+        let (soc, data) = chain_soc(2);
+        let costs = DftCosts::default();
+        let mut sched = Scheduler::new(&soc, &data, &costs);
+        assert!(sched.evaluate(&[0, 0]).is_ok());
+        assert!(sched.evaluate(&[0, 99]).is_err());
+        // The engine must full-rebuild after a failed patch, not reuse a
+        // half-patched graph.
+        let dp = sched.evaluate(&[1, 1]).unwrap();
+        let fresh = schedule(&soc, &data, &[1, 1], &costs);
+        assert_eq!(format!("{dp:?}"), format!("{fresh:?}"));
     }
 }

@@ -66,9 +66,8 @@ impl fmt::Display for TesterProgram {
 pub fn tester_program(soc: &Soc, episode: &CoreEpisode) -> TesterProgram {
     let _ = soc; // reserved for pin-name annotation
     let per = u64::from(episode.per_vector_cycles);
-    let mut drives = Vec::with_capacity(
-        episode.hscan_vectors as usize * episode.input_arrivals.len(),
-    );
+    let mut drives =
+        Vec::with_capacity(episode.hscan_vectors as usize * episode.input_arrivals.len());
     for v in 0..episode.hscan_vectors {
         let slot_end = (v + 1) * per;
         for (port, arrival) in &episode.input_arrivals {
@@ -92,8 +91,7 @@ pub fn tester_program(soc: &Soc, episode: &CoreEpisode) -> TesterProgram {
 /// downstream tooling as a sanity gate.
 pub fn validate_program(episode: &CoreEpisode, program: &TesterProgram) -> Option<String> {
     let per = u64::from(episode.per_vector_cycles);
-    let expected =
-        episode.hscan_vectors as usize * episode.input_arrivals.len();
+    let expected = episode.hscan_vectors as usize * episode.input_arrivals.len();
     if program.drives.len() != expected {
         return Some(format!(
             "expected {expected} drives, found {}",
@@ -121,8 +119,7 @@ pub fn validate_program(episode: &CoreEpisode, program: &TesterProgram) -> Optio
         if !seen.insert((d.vector, d.target_input)) {
             return Some(format!(
                 "duplicate drive for vector {} input {}",
-                d.vector,
-                d.target_input
+                d.vector, d.target_input
             ));
         }
     }

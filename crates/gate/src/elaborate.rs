@@ -151,9 +151,7 @@ impl<'a> Elaborator<'a> {
             };
             for bit in 0..width {
                 let q = self.reg_bits[ri][bit as usize];
-                let d = self
-                    .driver_expr(node, bit)
-                    .unwrap_or(q); // no driver: hold
+                let d = self.driver_expr(node, bit).unwrap_or(q); // no driver: hold
                 let d = match enable {
                     Some(en) if d != q => self.b.mux(en, q, d),
                     _ => d,
@@ -234,16 +232,10 @@ impl<'a> Elaborator<'a> {
             expr = Some(match expr {
                 None => src_sig,
                 Some(prev) => {
-                    let sel = *self
-                        .selects
-                        .entry((sink, *ci))
-                        .or_insert_with(|| {
-                            self.b.input(&format!(
-                                "sel_{}_{}",
-                                self.core.name_of(sink),
-                                ordinal
-                            ))
-                        });
+                    let sel = *self.selects.entry((sink, *ci)).or_insert_with(|| {
+                        self.b
+                            .input(&format!("sel_{}_{}", self.core.name_of(sink), ordinal))
+                    });
                     self.b.mux(sel, prev, src_sig)
                 }
             });
@@ -275,14 +267,15 @@ impl<'a> Elaborator<'a> {
             sources.push(sigs);
         }
         let zero = self.b.const0();
-        let take = |sources: &[Vec<SignalId>], i: usize, w: usize, zero: SignalId| -> Vec<SignalId> {
-            let mut v = sources.get(i).cloned().unwrap_or_default();
-            while v.len() < w {
-                v.push(zero);
-            }
-            v.truncate(w);
-            v
-        };
+        let take =
+            |sources: &[Vec<SignalId>], i: usize, w: usize, zero: SignalId| -> Vec<SignalId> {
+                let mut v = sources.get(i).cloned().unwrap_or_default();
+                while v.len() < w {
+                    v.push(zero);
+                }
+                v.truncate(w);
+                v
+            };
         let a = take(&sources, 0, w, zero);
         let bops = if sources.len() > 1 {
             take(&sources, 1, w, zero)
@@ -347,7 +340,11 @@ impl<'a> Elaborator<'a> {
 
     /// Ripple-carry adder (or subtracter when `sub`); returns sum bits.
     fn ripple_add(&mut self, a: &[SignalId], b: &[SignalId], sub: bool) -> Vec<SignalId> {
-        let mut carry = if sub { self.b.const1() } else { self.b.const0() };
+        let mut carry = if sub {
+            self.b.const1()
+        } else {
+            self.b.const0()
+        };
         let mut out = Vec::with_capacity(a.len());
         for (&x, &yraw) in a.iter().zip(b) {
             let y = if sub {
@@ -402,7 +399,12 @@ impl<'a> Elaborator<'a> {
             pool.push(self.b.const0());
         }
         let n = pool.len();
-        let leaf_kinds = [GateKind::And2, GateKind::Or2, GateKind::Nand2, GateKind::Nor2];
+        let leaf_kinds = [
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+        ];
         // Enumerate distinct (kind, i<j operand pair) leaf combinations in a
         // shuffled-by-seed but collision-free order.
         let pair_count = if n > 1 { n * (n - 1) / 2 } else { 1 };
@@ -468,10 +470,7 @@ mod tests {
         assert_eq!(e.netlist.outputs().len(), 4);
         // Data flows i -> r1 -> r2 -> o over two clocks.
         let sim = CombSim::new(&e.netlist);
-        let (outs, next) = sim.run_with_state(
-            &[true, false, true, false],
-            &[false; 8],
-        );
+        let (outs, next) = sim.run_with_state(&[true, false, true, false], &[false; 8]);
         assert_eq!(outs, vec![false; 4]);
         // r1 captured the input.
         assert_eq!(&next[0..4], &[true, false, true, false]);
@@ -537,10 +536,20 @@ mod tests {
         let hi = b.port("hi", Direction::In, 4).unwrap();
         let o = b.port("o", Direction::Out, 8).unwrap();
         let r = b.register("r", 8).unwrap();
-        b.connect_slice(RtlNode::Port(lo), BitRange::full(4), RtlNode::Reg(r), BitRange::new(0, 3))
-            .unwrap();
-        b.connect_slice(RtlNode::Port(hi), BitRange::full(4), RtlNode::Reg(r), BitRange::new(4, 7))
-            .unwrap();
+        b.connect_slice(
+            RtlNode::Port(lo),
+            BitRange::full(4),
+            RtlNode::Reg(r),
+            BitRange::new(0, 3),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Port(hi),
+            BitRange::full(4),
+            RtlNode::Reg(r),
+            BitRange::new(4, 7),
+        )
+        .unwrap();
         b.connect_reg_to_port(r, o).unwrap();
         let core = b.build().unwrap();
         let e = elaborate(&core).unwrap();

@@ -225,7 +225,10 @@ impl GateNetlist {
 
     /// Number of D flip-flops.
     pub fn flip_flop_count(&self) -> usize {
-        self.gates.iter().filter(|g| g.kind == GateKind::Dff).count()
+        self.gates
+            .iter()
+            .filter(|g| g.kind == GateKind::Dff)
+            .count()
     }
 
     /// Evaluation order of the combinational gates: every operand of a gate
@@ -458,7 +461,8 @@ impl GateNetlistBuilder {
             self.gates.push(Gate { kind: g.kind, ops });
         }
         for (name, s) in nl.inputs() {
-            self.inputs.push((format!("{prefix}/{name}"), map[s.index()]));
+            self.inputs
+                .push((format!("{prefix}/{name}"), map[s.index()]));
         }
         map
     }
@@ -632,10 +636,7 @@ mod tests {
         let mut b = GateNetlistBuilder::new("n");
         let q = b.dff_deferred(); // D never set
         b.output("q", q);
-        assert!(matches!(
-            b.build(),
-            Err(GateError::UndefinedOperand { .. })
-        ));
+        assert!(matches!(b.build(), Err(GateError::UndefinedOperand { .. })));
     }
 
     #[test]
@@ -647,11 +648,7 @@ mod tests {
         let y = b.gate2(GateKind::And2, x, a);
         b.output("y", y);
         let nl = b.build().unwrap();
-        let pos: Vec<usize> = nl
-            .topo_order()
-            .iter()
-            .map(|s| s.index())
-            .collect();
+        let pos: Vec<usize> = nl.topo_order().iter().map(|s| s.index()).collect();
         let xi = pos.iter().position(|&p| p == x.index()).unwrap();
         let yi = pos.iter().position(|&p| p == y.index()).unwrap();
         assert!(xi < yi);
@@ -666,7 +663,10 @@ mod tests {
         let nl = b.build().unwrap();
         // 5 leaves need 4 OR gates.
         assert_eq!(
-            nl.gates().iter().filter(|g| g.kind == GateKind::Or2).count(),
+            nl.gates()
+                .iter()
+                .filter(|g| g.kind == GateKind::Or2)
+                .count(),
             4
         );
     }
@@ -705,6 +705,9 @@ mod tests {
         let q = b.dff(a);
         b.output("q", q);
         let nl = b.build().unwrap();
-        assert_eq!(nl.to_string(), "netlist n (2 gates, 1 inputs, 1 outputs, 1 FFs)");
+        assert_eq!(
+            nl.to_string(),
+            "netlist n (2 gates, 1 inputs, 1 outputs, 1 FFs)"
+        );
     }
 }

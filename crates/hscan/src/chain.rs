@@ -187,12 +187,11 @@ pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
 
     let charge = |area: &mut AreaReport, via: &ChainVia, width: u16| match via {
         ChainVia::ExistingMux { .. } => area.tally(CellKind::And2, costs.hscan_mux_reuse_gates),
-        ChainVia::ExistingDirect { .. } => {
-            area.tally(CellKind::Or2, costs.hscan_direct_or_gates)
-        }
-        ChainVia::TestMux => {
-            area.tally(CellKind::Mux2, costs.hscan_test_mux_per_bit * u64::from(width))
-        }
+        ChainVia::ExistingDirect { .. } => area.tally(CellKind::Or2, costs.hscan_direct_or_gates),
+        ChainVia::TestMux => area.tally(
+            CellKind::Mux2,
+            costs.hscan_test_mux_per_bit * u64::from(width),
+        ),
     };
 
     // Deterministic iteration: registers in declaration order.
@@ -297,7 +296,9 @@ pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
                     if c.src.node != RtlNode::Reg(current) || !c.via.is_lossless() {
                         continue;
                     }
-                    let RtlNode::Reg(dst) = c.dst.node else { continue };
+                    let RtlNode::Reg(dst) = c.dst.node else {
+                        continue;
+                    };
                     if !unchained.contains(&dst) {
                         continue;
                     }
@@ -380,7 +381,6 @@ pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
     }
 }
 
-
 /// Claims every lossless connection `src -> dst`: a register is loaded
 /// through *all* its slice connections from the source, so the whole
 /// parallel path belongs to the scan structure.
@@ -449,9 +449,7 @@ mod tests {
         let o = b.port("o", Direction::Out, 8).unwrap();
         let r = b.register("r", 8).unwrap();
         let island = b.register("island", 8).unwrap();
-        let fu = b
-            .functional_unit("f", socet_rtl::FuKind::Logic, 8)
-            .unwrap();
+        let fu = b.functional_unit("f", socet_rtl::FuKind::Logic, 8).unwrap();
         b.connect_port_to_reg(i, r).unwrap();
         b.connect_reg_to_port(r, o).unwrap();
         // island only talks to the FU: no lossless paths.
@@ -477,8 +475,10 @@ mod tests {
         let r1 = b.register("r1", 8).unwrap();
         let r2 = b.register("r2", 8).unwrap();
         b.connect_port_to_reg(i, r1).unwrap();
-        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 0).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 1).unwrap();
+        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 1)
+            .unwrap();
         b.connect_reg_to_port(r2, o).unwrap();
         let core = b.build().unwrap();
         let h = insert_hscan(&core, &DftCosts::default());
@@ -513,7 +513,8 @@ mod tests {
         let r_side = b.register("r_side", 8).unwrap();
         b.connect_port_to_reg(i, r_main).unwrap();
         b.connect_reg_to_reg(r_main, r_next).unwrap();
-        b.connect_mux(RtlNode::Reg(r_main), RtlNode::Reg(r_side), 0).unwrap();
+        b.connect_mux(RtlNode::Reg(r_main), RtlNode::Reg(r_side), 0)
+            .unwrap();
         b.connect_reg_to_port(r_next, o).unwrap();
         b.connect_reg_to_port(r_side, o2).unwrap();
         let core = b.build().unwrap();

@@ -105,7 +105,10 @@ impl BitRange {
     /// ```
     pub fn intersect(self, other: BitRange) -> Option<BitRange> {
         if self.overlaps(other) {
-            Some(BitRange::new(self.lsb.max(other.lsb), self.msb.min(other.msb)))
+            Some(BitRange::new(
+                self.lsb.max(other.lsb),
+                self.msb.min(other.msb),
+            ))
         } else {
             None
         }

@@ -220,7 +220,10 @@ mod tests {
         let e = Endpoint::new(RtlNode::Reg(RegisterId(2)), BitRange::new(0, 7));
         assert_eq!(e.to_string(), "r2(7 downto 0)");
         assert_eq!(Via::MuxPath { leg: 1 }.to_string(), "mux[leg 1]");
-        assert_eq!(Via::ThroughFu(FunctionalUnitId(4)).to_string(), "through fu4");
+        assert_eq!(
+            Via::ThroughFu(FunctionalUnitId(4)).to_string(),
+            "through fu4"
+        );
         let c = Connection {
             src: e,
             dst: Endpoint::new(RtlNode::Port(PortId(1)), BitRange::new(0, 7)),

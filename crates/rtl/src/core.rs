@@ -347,7 +347,12 @@ impl CoreBuilder {
     ///
     /// [`RtlError::DuplicateName`] if `name` is taken,
     /// [`RtlError::ZeroWidth`] if `width == 0`.
-    pub fn port(&mut self, name: &str, direction: Direction, width: u16) -> Result<PortId, RtlError> {
+    pub fn port(
+        &mut self,
+        name: &str,
+        direction: Direction,
+        width: u16,
+    ) -> Result<PortId, RtlError> {
         self.port_with_class(name, direction, width, SignalClass::Data)
     }
 
@@ -508,7 +513,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_port_to_reg(&mut self, p: PortId, r: RegisterId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_port_to_reg(
+        &mut self,
+        p: PortId,
+        r: RegisterId,
+    ) -> Result<ConnectionId, RtlError> {
         let (pw, rw) = (self.ports[p.index()].width, self.registers[r.index()].width);
         self.connect_via(
             RtlNode::Port(p),
@@ -524,7 +533,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_reg_to_port(&mut self, r: RegisterId, p: PortId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_reg_to_port(
+        &mut self,
+        r: RegisterId,
+        p: PortId,
+    ) -> Result<ConnectionId, RtlError> {
         let (rw, pw) = (self.registers[r.index()].width, self.ports[p.index()].width);
         self.connect_via(
             RtlNode::Reg(r),
@@ -540,8 +553,15 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_reg_to_reg(&mut self, a: RegisterId, b: RegisterId) -> Result<ConnectionId, RtlError> {
-        let (aw, bw) = (self.registers[a.index()].width, self.registers[b.index()].width);
+    pub fn connect_reg_to_reg(
+        &mut self,
+        a: RegisterId,
+        b: RegisterId,
+    ) -> Result<ConnectionId, RtlError> {
+        let (aw, bw) = (
+            self.registers[a.index()].width,
+            self.registers[b.index()].width,
+        );
         self.connect_via(
             RtlNode::Reg(a),
             BitRange::full(aw),
@@ -594,7 +614,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_reg_to_fu(&mut self, r: RegisterId, u: FunctionalUnitId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_reg_to_fu(
+        &mut self,
+        r: RegisterId,
+        u: FunctionalUnitId,
+    ) -> Result<ConnectionId, RtlError> {
         let (rw, uw) = (self.registers[r.index()].width, self.fus[u.index()].width);
         self.connect_via(
             RtlNode::Reg(r),
@@ -610,7 +634,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_fu_to_reg(&mut self, u: FunctionalUnitId, r: RegisterId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_fu_to_reg(
+        &mut self,
+        u: FunctionalUnitId,
+        r: RegisterId,
+    ) -> Result<ConnectionId, RtlError> {
         let (uw, rw) = (self.fus[u.index()].width, self.registers[r.index()].width);
         self.connect_via(
             RtlNode::Fu(u),
@@ -626,7 +654,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_port_to_fu(&mut self, p: PortId, u: FunctionalUnitId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_port_to_fu(
+        &mut self,
+        p: PortId,
+        u: FunctionalUnitId,
+    ) -> Result<ConnectionId, RtlError> {
         let (pw, uw) = (self.ports[p.index()].width, self.fus[u.index()].width);
         self.connect_via(
             RtlNode::Port(p),
@@ -642,7 +674,11 @@ impl CoreBuilder {
     /// # Errors
     ///
     /// Same as [`CoreBuilder::connect_via`].
-    pub fn connect_fu_to_port(&mut self, u: FunctionalUnitId, p: PortId) -> Result<ConnectionId, RtlError> {
+    pub fn connect_fu_to_port(
+        &mut self,
+        u: FunctionalUnitId,
+        p: PortId,
+    ) -> Result<ConnectionId, RtlError> {
         let (uw, pw) = (self.fus[u.index()].width, self.ports[p.index()].width);
         self.connect_via(
             RtlNode::Fu(u),
@@ -666,7 +702,10 @@ impl CoreBuilder {
         fu: FunctionalUnitId,
         b: RegisterId,
     ) -> Result<ConnectionId, RtlError> {
-        let (aw, bw) = (self.registers[a.index()].width, self.registers[b.index()].width);
+        let (aw, bw) = (
+            self.registers[a.index()].width,
+            self.registers[b.index()].width,
+        );
         let w = aw.min(bw);
         self.connect_via(
             RtlNode::Reg(a),
@@ -731,10 +770,7 @@ impl CoreBuilder {
                 };
                 if !compatible {
                     return Err(RtlError::DriverConflict {
-                        sink: format!(
-                            "{} (driven by {} and {})",
-                            a.dst, a.src, b.src
-                        ),
+                        sink: format!("{} (driven by {} and {})", a.dst, a.src, b.src),
                     });
                 }
             }
@@ -767,7 +803,9 @@ impl CoreBuilder {
         for (i, u) in self.fus.iter().enumerate() {
             let node = RtlNode::Fu(FunctionalUnitId(i as u32));
             let used = self.connections.iter().any(|c| {
-                c.src.node == node || c.dst.node == node || c.via == Via::ThroughFu(FunctionalUnitId(i as u32))
+                c.src.node == node
+                    || c.dst.node == node
+                    || c.via == Via::ThroughFu(FunctionalUnitId(i as u32))
             });
             if !used {
                 return Err(RtlError::Dangling {
@@ -814,7 +852,10 @@ mod tests {
             b.port("p", Direction::In, 0),
             Err(RtlError::ZeroWidth { .. })
         ));
-        assert!(matches!(b.register("r", 0), Err(RtlError::ZeroWidth { .. })));
+        assert!(matches!(
+            b.register("r", 0),
+            Err(RtlError::ZeroWidth { .. })
+        ));
     }
 
     #[test]
@@ -930,14 +971,34 @@ mod tests {
         let o1 = b.port("o1", Direction::Out, 4).unwrap();
         let o2 = b.port("o2", Direction::Out, 4).unwrap();
         let acc = b.register("acc", 8).unwrap();
-        b.connect_slice(RtlNode::Port(a), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(0, 3))
-            .unwrap();
-        b.connect_slice(RtlNode::Port(c), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(4, 7))
-            .unwrap();
-        b.connect_slice(RtlNode::Reg(acc), BitRange::new(0, 3), RtlNode::Port(o1), BitRange::full(4))
-            .unwrap();
-        b.connect_slice(RtlNode::Reg(acc), BitRange::new(4, 7), RtlNode::Port(o2), BitRange::full(4))
-            .unwrap();
+        b.connect_slice(
+            RtlNode::Port(a),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(0, 3),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Port(c),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(4, 7),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Reg(acc),
+            BitRange::new(0, 3),
+            RtlNode::Port(o1),
+            BitRange::full(4),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Reg(acc),
+            BitRange::new(4, 7),
+            RtlNode::Port(o2),
+            BitRange::full(4),
+        )
+        .unwrap();
         let core = b.build().unwrap();
         assert!(core.is_c_split(RtlNode::Reg(acc)));
         assert!(core.is_o_split(RtlNode::Reg(acc)));

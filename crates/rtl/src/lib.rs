@@ -50,7 +50,9 @@ pub use connection::{Connection, ConnectionId, Endpoint, RtlNode, Via};
 pub use core::{Core, CoreBuilder};
 pub use error::RtlError;
 pub use port::{Direction, Port, PortId, SignalClass};
-pub use soc::{ChipPin, ChipPinId, CoreInstance, CoreInstanceId, Soc, SocBuilder, SocEndpoint, SocNet};
+pub use soc::{
+    ChipPin, ChipPinId, CoreInstance, CoreInstanceId, Soc, SocBuilder, SocEndpoint, SocNet,
+};
 pub use stats::CoreStats;
 
 #[cfg(test)]

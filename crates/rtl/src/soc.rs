@@ -297,22 +297,14 @@ impl Soc {
     }
 
     /// Nets whose destination is the given core input port.
-    pub fn nets_into(
-        &self,
-        core: CoreInstanceId,
-        port: PortId,
-    ) -> impl Iterator<Item = &SocNet> {
+    pub fn nets_into(&self, core: CoreInstanceId, port: PortId) -> impl Iterator<Item = &SocNet> {
         self.nets.iter().filter(move |n| {
             matches!(n.dst, SocEndpoint::CorePort { core: c, port: p, .. } if c == core && p == port)
         })
     }
 
     /// Nets whose source is the given core output port.
-    pub fn nets_from(
-        &self,
-        core: CoreInstanceId,
-        port: PortId,
-    ) -> impl Iterator<Item = &SocNet> {
+    pub fn nets_from(&self, core: CoreInstanceId, port: PortId) -> impl Iterator<Item = &SocNet> {
         self.nets.iter().filter(move |n| {
             matches!(n.src, SocEndpoint::CorePort { core: c, port: p, .. } if c == core && p == port)
         })
@@ -538,9 +530,12 @@ impl SocBuilder {
     }
 
     fn port_width(&self, core: CoreInstanceId, port: PortId) -> Result<u16, RtlError> {
-        let inst = self.cores.get(core.index()).ok_or_else(|| RtlError::BadSocNet {
-            detail: format!("unknown core {core}"),
-        })?;
+        let inst = self
+            .cores
+            .get(core.index())
+            .ok_or_else(|| RtlError::BadSocNet {
+                detail: format!("unknown core {core}"),
+            })?;
         inst.core
             .ports()
             .get(port.index())
@@ -560,7 +555,11 @@ impl SocBuilder {
                     });
                 }
                 let dir = self.pins[pin.index()].direction;
-                let ok = if is_source { dir == Direction::In } else { dir == Direction::Out };
+                let ok = if is_source {
+                    dir == Direction::In
+                } else {
+                    dir == Direction::Out
+                };
                 if !ok {
                     return Err(RtlError::BadSocNet {
                         detail: format!(
@@ -578,7 +577,11 @@ impl SocBuilder {
                     });
                 }
                 let dir = self.cores[core.index()].core.ports()[port.index()].direction();
-                let ok = if is_source { dir == Direction::Out } else { dir == Direction::In };
+                let ok = if is_source {
+                    dir == Direction::Out
+                } else {
+                    dir == Direction::In
+                };
                 if !ok {
                     return Err(RtlError::BadSocNet {
                         detail: format!(

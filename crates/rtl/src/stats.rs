@@ -76,7 +76,10 @@ impl fmt::Display for CoreStats {
         write!(
             f,
             "{} regs / {} FFs / {} FUs / {} conns / ~{} cells",
-            self.registers, self.flip_flops, self.functional_units, self.connections,
+            self.registers,
+            self.flip_flops,
+            self.functional_units,
+            self.connections,
             self.estimated_area_cells
         )
     }
@@ -141,9 +144,9 @@ pub fn fu_cells_per_bit(kind: FuKind) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::connection::RtlNode;
     use crate::core::CoreBuilder;
     use crate::port::Direction;
-    use crate::connection::RtlNode;
 
     #[test]
     fn estimate_counts_registers_and_muxes() {
@@ -183,7 +186,9 @@ mod tests {
         let i = b.port("i", Direction::In, 1).unwrap();
         let o = b.port("o", Direction::Out, 1).unwrap();
         let r = b.register("r", 1).unwrap();
-        let blob = b.functional_unit("ctl", FuKind::Random { gates: 40 }, 1).unwrap();
+        let blob = b
+            .functional_unit("ctl", FuKind::Random { gates: 40 }, 1)
+            .unwrap();
         b.connect_port_to_fu(i, blob).unwrap();
         b.connect_fu_to_reg(blob, r).unwrap();
         b.connect_reg_to_port(r, o).unwrap();

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace must build and test with an **empty registry**, so this
+//! path crate implements the subset of the criterion API the benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Behaviour mirrors criterion's two modes:
+//!
+//! * `cargo bench` (argv contains `--bench`): every benchmark is calibrated
+//!   to ~`target_sample_ms` per sample, measured for `sample_size` samples,
+//!   and a `min / mean / max` per-iteration line is printed;
+//! * `cargo test` (no `--bench` flag): each closure runs exactly once so
+//!   benches double as smoke tests, like real criterion's test mode.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean per-iteration time of the last `iter` call (measure mode only).
+    last: Option<Stats>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: calibrate and measure.
+    Measure,
+    /// `cargo test`: run once, no timing.
+    Test,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` under the current mode and records per-iteration stats.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                // Calibrate: how many iterations fill ~target per sample?
+                const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+                let mut iters: u64 = 1;
+                loop {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = t.elapsed();
+                    if elapsed >= TARGET_SAMPLE / 2 || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters = (iters * 2).max(
+                        (TARGET_SAMPLE.as_nanos() as u64)
+                            .checked_div(elapsed.as_nanos().max(1) as u64 / iters.max(1))
+                            .unwrap_or(iters * 2)
+                            .max(iters + 1),
+                    );
+                }
+                let mut samples = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size.max(2) {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    samples.push(t.elapsed() / iters as u32);
+                }
+                let min = *samples.iter().min().expect("non-empty");
+                let max = *samples.iter().max().expect("non-empty");
+                let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+                self.last = Some(Stats { min, mean, max });
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            last: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            last: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        match b.last {
+            Some(s) => println!(
+                "{}/{:<40} time: [{} {} {}]",
+                self.name,
+                id,
+                fmt_duration(s.min),
+                fmt_duration(s.mean),
+                fmt_duration(s.max)
+            ),
+            None if self.criterion.mode == Mode::Test => {
+                println!("{}/{}: ok (test mode, 1 iteration)", self.name, id)
+            }
+            None => println!("{}/{}: no measurement (iter never called)", self.name, id),
+        }
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver; created by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion: `cargo bench` passes --bench to the target;
+        // under `cargo test` the flag is absent and benches run once.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Test },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("once", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_stats() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            sample_size: 3,
+            last: None,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.last.is_some());
+        let s = b.last.expect("stats");
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("schedule", 8).to_string(), "schedule/8");
+    }
+}

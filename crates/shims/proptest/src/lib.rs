@@ -1,0 +1,395 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test with an **empty registry** (no network,
+//! no vendored sources), so this path crate implements the subset of the
+//! proptest API the test suites actually use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! * integer / float range strategies, tuples of strategies,
+//!   [`prop::collection::vec`], and [`any::<bool>()`](any),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Generation is a deterministic xorshift stream seeded from the test name,
+//! so failures reproduce across runs. There is no shrinking: a failing case
+//! reports its case index and generated inputs instead. The case count comes
+//! from [`ProptestConfig::with_cases`] and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration — only the knob the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns early with).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives every property its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        let span = hi - lo;
+        // Modulo bias is irrelevant for test-input generation.
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn in_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Something that can generate a value from the RNG.
+///
+/// Mirrors proptest's `Strategy` in spirit; there is no shrink tree.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.in_range_f64(self.start, self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// `any::<T>()` support, implemented for the types the suites draw.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 != 0
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (use as `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// A vector strategy: length in `len`, elements from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n =
+                    rng.in_range_u64(self.len.start as u64, self.len.end.max(1) as u64) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Drives one property: owns the RNG and the case budget.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the property named `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let rng = TestRng::from_name(name);
+        TestRunner { config, rng, name }
+    }
+
+    /// Number of cases to run (env `PROPTEST_CASES` overrides the config).
+    pub fn cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.config.cases)
+    }
+
+    /// The RNG drawing this property's inputs.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Panics (failing the `#[test]`) if `case` failed.
+    pub fn check(&self, case_index: u32, inputs: &str, result: Result<(), TestCaseError>) {
+        if let Err(e) = result {
+            panic!(
+                "property `{}` failed at case {} with inputs {{{}}}: {}",
+                self.name, case_index, inputs, e
+            );
+        }
+    }
+}
+
+/// Property-test entry point; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for __proptest_case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)+
+                let __proptest_inputs = [
+                    $(format!("{}: {:?}", stringify!($arg), $arg)),+
+                ].join(", ");
+                #[allow(unused_mut)]
+                let mut __proptest_body =
+                    || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                runner.check(__proptest_case, &__proptest_inputs, __proptest_body());
+            }
+        }
+    )*};
+    // Entry arms come last so the `@cfg` marker above never re-enters the
+    // catch-all and recurses.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)*),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a != b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} ({:?} == {:?})",
+                format!($($fmt)*),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng, TestRunner,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (3u16..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.5).generate(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let t = (0usize..4, 1u64..u64::MAX).generate(&mut rng);
+            assert!(t.0 < 4 && t.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..256, 2..40).generate(&mut rng);
+            assert!((2..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 256));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_compiles_and_runs(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flag || !flag, true);
+            prop_assert_ne!(x, 10, "x must stay below ten, got {}", x);
+        }
+    }
+}

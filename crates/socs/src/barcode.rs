@@ -33,7 +33,9 @@ pub fn cpu_core() -> Core {
     let mut b = CoreBuilder::new("CPU");
     let data = b.port("Data", Direction::In, 8).expect("fresh name");
     let reset = b.control_port("Reset", Direction::In).expect("fresh name");
-    let intr = b.control_port("Interrupt", Direction::In).expect("fresh name");
+    let intr = b
+        .control_port("Interrupt", Direction::In)
+        .expect("fresh name");
     let a_lo = b.port("AddrLo", Direction::Out, 8).expect("fresh name");
     let a_hi = b.port("AddrHi", Direction::Out, 4).expect("fresh name");
     let read = b
@@ -216,7 +218,8 @@ pub fn preprocessor_core() -> Core {
     ok(b.connect_reg_to_fu(addr_r, counter));
     ok(b.connect_mux(RtlNode::Fu(counter), RtlNode::Reg(addr_r), 1));
 
-    b.build().expect("PREPROCESSOR netlist is statically consistent")
+    b.build()
+        .expect("PREPROCESSOR netlist is statically consistent")
 }
 
 /// Builds the DISPLAY core: 66 flip-flops, 20 internal input bits, HSCAN
@@ -356,9 +359,15 @@ pub fn display_core() -> Core {
 /// routing; this model only makes the netlist complete).
 pub fn memory_core(name: &str, addr_width: u16, data_width: u16) -> Core {
     let mut b = CoreBuilder::new(name);
-    let addr = b.port("Addr", Direction::In, addr_width).expect("fresh name");
-    let din = b.port("Din", Direction::In, data_width).expect("fresh name");
-    let dout = b.port("Dout", Direction::Out, data_width).expect("fresh name");
+    let addr = b
+        .port("Addr", Direction::In, addr_width)
+        .expect("fresh name");
+    let din = b
+        .port("Din", Direction::In, data_width)
+        .expect("fresh name");
+    let dout = b
+        .port("Dout", Direction::Out, data_width)
+        .expect("fresh name");
     let ar = b.register("AR", addr_width).expect("fresh name");
     let dr = b.register("DR", data_width).expect("fresh name");
     b.connect_port_to_reg(addr, ar).expect("consistent");
@@ -399,7 +408,10 @@ pub fn barcode_system() -> Soc {
     let num = sb.input_pin("NUM", 8).expect("fresh name");
     let reset = sb.input_pin("Reset", 1).expect("fresh name");
     let po: Vec<_> = (1..=6)
-        .map(|k| sb.output_pin(&format!("PO_PORT{k}"), 7).expect("fresh name"))
+        .map(|k| {
+            sb.output_pin(&format!("PO_PORT{k}"), 7)
+                .expect("fresh name")
+        })
         .collect();
 
     let u_prep = sb.instantiate("PREPROCESSOR", prep.clone()).expect("fresh");
@@ -490,7 +502,11 @@ mod tests {
         assert_eq!(disp.input_bits(), 20, "the paper's 20 internal inputs");
         let hscan = insert_hscan(&disp, &DftCosts::default());
         assert_eq!(hscan.sequential_depth(), 4, "HSCAN depth 4");
-        assert_eq!(hscan.test_length(105), 525, "105 vectors -> 525 HSCAN vectors");
+        assert_eq!(
+            hscan.test_length(105),
+            525,
+            "105 vectors -> 525 HSCAN vectors"
+        );
     }
 
     #[test]
@@ -530,9 +546,17 @@ mod tests {
         assert_eq!(versions[0].pair_latency(num, db), Some(5), "v1 NUM->DB = 5");
         assert_eq!(versions[1].pair_latency(num, db), Some(1), "v2 NUM->DB = 1");
         assert_eq!(versions[2].pair_latency(num, db), Some(1), "v3 NUM->DB = 1");
-        assert_eq!(versions[0].pair_latency(reset, eoc), Some(2), "Reset->Eoc = 2");
+        assert_eq!(
+            versions[0].pair_latency(reset, eoc),
+            Some(2),
+            "Reset->Eoc = 2"
+        );
         let addr = prep.find_port("Address").unwrap();
-        assert_eq!(versions[0].pair_latency(num, addr), Some(2), "v1 NUM->A = 2");
+        assert_eq!(
+            versions[0].pair_latency(num, addr),
+            Some(2),
+            "v1 NUM->A = 2"
+        );
     }
 
     #[test]

@@ -132,13 +132,20 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate_soc(&SyntheticConfig { seed: 1, cores: 8, ..Default::default() });
-        let b = generate_soc(&SyntheticConfig { seed: 2, cores: 8, ..Default::default() });
+        let a = generate_soc(&SyntheticConfig {
+            seed: 1,
+            cores: 8,
+            ..Default::default()
+        });
+        let b = generate_soc(&SyntheticConfig {
+            seed: 2,
+            cores: 8,
+            ..Default::default()
+        });
         // Not guaranteed in general, but these seeds give different
         // depths/shortcuts and thus different connection counts.
-        let conns = |s: &Soc| -> usize {
-            s.cores().iter().map(|c| c.core().connections().len()).sum()
-        };
+        let conns =
+            |s: &Soc| -> usize { s.cores().iter().map(|c| c.core().connections().len()).sum() };
         assert_ne!(conns(&a), conns(&b));
     }
 

@@ -79,7 +79,8 @@ pub fn graphics_core() -> Core {
     ok(b.connect_reg_to_fu(cmd_r, ctl));
     ok(b.connect_mux(RtlNode::Fu(ctl), RtlNode::Reg(x), 1));
 
-    b.build().expect("GRAPHICS netlist is statically consistent")
+    b.build()
+        .expect("GRAPHICS netlist is statically consistent")
 }
 
 /// Builds the GCD core (greatest common divisor, after the HLSynth'95

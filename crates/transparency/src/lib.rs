@@ -41,8 +41,8 @@ pub mod search;
 pub mod version;
 
 pub use rcg::{EdgeId, Rcg, RcgEdge, RcgEdgeKind, RcgNode};
-pub use search::{backward_search, forward_search, PathFound};
-pub use version::{synthesize_versions, CoreVersion, TransparencyPath};
+pub use search::{backward_search, forward_search, PathFound, SearchError};
+pub use version::{synthesize_versions, try_synthesize_versions, CoreVersion, TransparencyPath};
 
 #[cfg(test)]
 mod tests {

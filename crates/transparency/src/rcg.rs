@@ -127,7 +127,11 @@ impl RcgEdge {
 
 impl fmt::Display for RcgEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{} -> {}{}", self.from, self.from_range, self.to, self.to_range)
+        write!(
+            f,
+            "{}{} -> {}{}",
+            self.from, self.from_range, self.to, self.to_range
+        )
     }
 }
 
@@ -174,7 +178,9 @@ impl Rcg {
             let from = rtl_to_rcg(core, c.src.node);
             let to = rtl_to_rcg(core, c.dst.node);
             // Only data-bearing directions belong to the RCG.
-            let (Some(from), Some(to)) = (from, to) else { continue };
+            let (Some(from), Some(to)) = (from, to) else {
+                continue;
+            };
             let id = ConnectionId::from_index(ci);
             // An unsteered register-to-output wire needs no configuration at
             // all — the register's value already sits on the port — so it
@@ -235,14 +241,10 @@ impl Rcg {
             }
         }
         for p in core.port_ids() {
-            if core.port(p).direction() == Direction::In
-                && core.is_o_split(RtlNode::Port(p))
-            {
+            if core.port(p).direction() == Direction::In && core.is_o_split(RtlNode::Port(p)) {
                 o_split.insert(RcgNode::In(p));
             }
-            if core.port(p).direction() == Direction::Out
-                && core.is_c_split(RtlNode::Port(p))
-            {
+            if core.port(p).direction() == Direction::Out && core.is_c_split(RtlNode::Port(p)) {
                 c_split.insert(RcgNode::Out(p));
             }
         }
@@ -356,7 +358,11 @@ impl Rcg {
             if self.is_o_split(*n) {
                 label.push_str("\\n(O-split)");
             }
-            let _ = writeln!(out, "  \"{}\" [shape={shape}, label=\"{label}\"];", name_of(*n));
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{label}\"];",
+                name_of(*n)
+            );
         }
         for e in &self.edges {
             let style = match e.kind {
@@ -364,7 +370,11 @@ impl Rcg {
                 RcgEdgeKind::ScanMux => "dotted",
                 RcgEdgeKind::Existing { .. } => "solid",
             };
-            let weight = if e.kind.is_hscan() { ", penwidth=2" } else { "" };
+            let weight = if e.kind.is_hscan() {
+                ", penwidth=2"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  \"{}\" -> \"{}\" [style={style}{weight}, label=\"{}{}\"];",
@@ -439,14 +449,34 @@ mod tests {
         let o1 = b.port("o1", Direction::Out, 4).unwrap();
         let o2 = b.port("o2", Direction::Out, 4).unwrap();
         let acc = b.register("acc", 8).unwrap();
-        b.connect_slice(RtlNode::Port(a), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(0, 3))
-            .unwrap();
-        b.connect_slice(RtlNode::Port(c), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(4, 7))
-            .unwrap();
-        b.connect_slice(RtlNode::Reg(acc), BitRange::new(0, 3), RtlNode::Port(o1), BitRange::full(4))
-            .unwrap();
-        b.connect_slice(RtlNode::Reg(acc), BitRange::new(4, 7), RtlNode::Port(o2), BitRange::full(4))
-            .unwrap();
+        b.connect_slice(
+            RtlNode::Port(a),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(0, 3),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Port(c),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(4, 7),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Reg(acc),
+            BitRange::new(0, 3),
+            RtlNode::Port(o1),
+            BitRange::full(4),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Reg(acc),
+            BitRange::new(4, 7),
+            RtlNode::Port(o2),
+            BitRange::full(4),
+        )
+        .unwrap();
         b.build().unwrap()
     }
 
@@ -496,7 +526,7 @@ mod tests {
             .filter(|e| e.kind == RcgEdgeKind::ScanMux)
             .count();
         assert_eq!(scan_muxes, 2); // into and out of the island
-        // They count as HSCAN edges.
+                                   // They count as HSCAN edges.
         assert!(rcg
             .edges()
             .iter()

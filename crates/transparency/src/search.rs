@@ -16,6 +16,47 @@
 
 use crate::rcg::{EdgeId, Rcg, RcgNode};
 use std::collections::HashSet;
+use std::fmt;
+
+/// Why transparency search (or version synthesis built on it) cannot
+/// proceed for a core. These used to be `expect` panics deep inside the
+/// synthesis path; the chip-level scheduler surfaces them as part of its
+/// own typed error instead of crashing the whole exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The core has no input ports, so no data can ever be justified into
+    /// it and no transparency mux has a source to steal from.
+    NoInputPorts {
+        /// Name of the offending core.
+        core: String,
+    },
+    /// The core has no output ports, so nothing can be propagated out.
+    NoOutputPorts {
+        /// Name of the offending core.
+        core: String,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::NoInputPorts { core } => {
+                write!(
+                    f,
+                    "core `{core}` has no input ports to route test data through"
+                )
+            }
+            SearchError::NoOutputPorts { core } => {
+                write!(
+                    f,
+                    "core `{core}` has no output ports to observe test data at"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// A transparency path found by [`forward_search`] or [`backward_search`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -348,10 +389,13 @@ mod tests {
         let slow1 = b.register("slow1", 8).unwrap();
         let slow2 = b.register("slow2", 8).unwrap();
         let fast = b.register("fast", 8).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(slow1), 0).unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(slow1), 0)
+            .unwrap();
         b.connect_reg_to_reg(slow1, slow2).unwrap();
-        b.connect_mux(RtlNode::Reg(slow2), RtlNode::Reg(fast), 0).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(fast), 1).unwrap();
+        b.connect_mux(RtlNode::Reg(slow2), RtlNode::Reg(fast), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(fast), 1)
+            .unwrap();
         b.connect_reg_to_port(fast, o).unwrap();
         let core = b.build().unwrap();
         let rcg = rcg_of(&core);
@@ -371,8 +415,20 @@ mod tests {
         let wide = b.register("wide", 8).unwrap();
         let hop = b.register("hop", 4).unwrap();
         b.connect_port_to_reg(i, wide).unwrap();
-        b.connect_slice(RtlNode::Reg(wide), BitRange::new(0, 3), RtlNode::Port(o1), BitRange::full(4)).unwrap();
-        b.connect_slice(RtlNode::Reg(wide), BitRange::new(4, 7), RtlNode::Reg(hop), BitRange::full(4)).unwrap();
+        b.connect_slice(
+            RtlNode::Reg(wide),
+            BitRange::new(0, 3),
+            RtlNode::Port(o1),
+            BitRange::full(4),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Reg(wide),
+            BitRange::new(4, 7),
+            RtlNode::Reg(hop),
+            BitRange::full(4),
+        )
+        .unwrap();
         b.connect_reg_to_port(hop, o2).unwrap();
         let core = b.build().unwrap();
         let rcg = rcg_of(&core);
@@ -394,8 +450,20 @@ mod tests {
         let c = b.port("c", Direction::In, 4).unwrap();
         let o = b.port("o", Direction::Out, 8).unwrap();
         let acc = b.register("acc", 8).unwrap();
-        b.connect_slice(RtlNode::Port(a), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(0, 3)).unwrap();
-        b.connect_slice(RtlNode::Port(c), BitRange::full(4), RtlNode::Reg(acc), BitRange::new(4, 7)).unwrap();
+        b.connect_slice(
+            RtlNode::Port(a),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(0, 3),
+        )
+        .unwrap();
+        b.connect_slice(
+            RtlNode::Port(c),
+            BitRange::full(4),
+            RtlNode::Reg(acc),
+            BitRange::new(4, 7),
+        )
+        .unwrap();
         b.connect_reg_to_port(acc, o).unwrap();
         let core = b.build().unwrap();
         let rcg = rcg_of(&core);
@@ -403,7 +471,11 @@ mod tests {
         let banned = HashSet::new();
         let bwd = backward_search(&rcg, RcgNode::Out(o), &allow_all, &banned).unwrap();
         assert_eq!(bwd.latency, 1);
-        assert_eq!(bwd.terminals.len(), 2, "both inputs must feed the justification");
+        assert_eq!(
+            bwd.terminals.len(),
+            2,
+            "both inputs must feed the justification"
+        );
     }
 
     #[test]
@@ -429,9 +501,12 @@ mod tests {
         let o = b.port("o", Direction::Out, 8).unwrap();
         let r1 = b.register("r1", 8).unwrap();
         let r2 = b.register("r2", 8).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 1).unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 1)
+            .unwrap();
         b.connect_reg_to_port(r2, o).unwrap();
         let core = b.build().unwrap();
         let hscan = insert_hscan(&core, &DftCosts::default());
@@ -472,9 +547,12 @@ mod tests {
         let o = b.port("o", Direction::Out, 8).unwrap();
         let r1 = b.register("r1", 8).unwrap();
         let r2 = b.register("r2", 8).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 1).unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r2), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 1)
+            .unwrap();
         b.connect_reg_to_port(r2, o).unwrap();
         let core = b.build().unwrap();
         let rcg = rcg_of(&core);
@@ -491,9 +569,12 @@ mod tests {
         let o = b.port("o", Direction::Out, 8).unwrap();
         let r1 = b.register("r1", 8).unwrap();
         let r2 = b.register("r2", 8).unwrap();
-        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(r2), RtlNode::Reg(r1), 1).unwrap();
-        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 0).unwrap();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r1), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(r2), RtlNode::Reg(r1), 1)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(r1), RtlNode::Reg(r2), 0)
+            .unwrap();
         b.connect_reg_to_port(r2, o).unwrap();
         let core = b.build().unwrap();
         let rcg = rcg_of(&core);

@@ -18,7 +18,7 @@
 //!   (control ports keep their single-bit chains, §4 last paragraph).
 
 use crate::rcg::{EdgeId, Rcg, RcgEdgeKind, RcgNode};
-use crate::search::{backward_search, forward_search, PathFound};
+use crate::search::{backward_search, forward_search, PathFound, SearchError};
 use socet_cells::{AreaReport, CellKind, CellLibrary, DftCosts};
 use socet_hscan::HscanResult;
 use socet_rtl::{BitRange, ConnectionId, Core, PortId, SignalClass};
@@ -74,12 +74,8 @@ impl ChargeItem {
             ChargeItem::Freeze { .. } => {
                 area.tally(CellKind::And2, costs.freeze_gates_per_register)
             }
-            ChargeItem::Steered(_) => {
-                area.tally(CellKind::And2, costs.nonhscan_select_gates)
-            }
-            ChargeItem::DirectLoad(_) => {
-                area.tally(CellKind::Or2, costs.hscan_direct_or_gates)
-            }
+            ChargeItem::Steered(_) => area.tally(CellKind::And2, costs.nonhscan_select_gates),
+            ChargeItem::DirectLoad(_) => area.tally(CellKind::Or2, costs.hscan_direct_or_gates),
             ChargeItem::TransMux { width, .. } => area.tally(
                 CellKind::Mux2,
                 costs.transparency_mux_per_bit * u64::from(*width),
@@ -202,15 +198,21 @@ impl fmt::Display for CoreVersion {
 /// assert_eq!(versions[2].pair_latency(i, o), Some(1));
 /// # Ok::<(), socet_rtl::RtlError>(())
 /// ```
-pub fn synthesize_versions(
+pub fn synthesize_versions(core: &Core, hscan: &HscanResult, costs: &DftCosts) -> Vec<CoreVersion> {
+    try_synthesize_versions(core, hscan, costs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`synthesize_versions`]: pathological cores (no inputs or
+/// no outputs) come back as a [`SearchError`] instead of aborting.
+pub fn try_synthesize_versions(
     core: &Core,
     hscan: &HscanResult,
     costs: &DftCosts,
-) -> Vec<CoreVersion> {
+) -> Result<Vec<CoreVersion>, SearchError> {
     let mut versions = Vec::with_capacity(3);
     let mut cumulative: HashSet<ChargeItem> = HashSet::new();
     for level in 1..=3u8 {
-        let (paths, items) = synthesize_level(core, hscan, level);
+        let (paths, items) = synthesize_level(core, hscan, level)?;
         cumulative.extend(items);
         let mut overhead = AreaReport::new();
         for item in &cumulative {
@@ -223,7 +225,7 @@ pub fn synthesize_versions(
             overhead,
         });
     }
-    versions
+    Ok(versions)
 }
 
 /// Solves one ladder level: propagation for every input first, then
@@ -233,25 +235,29 @@ fn synthesize_level(
     core: &Core,
     hscan: &HscanResult,
     level: u8,
-) -> (Vec<TransparencyPath>, HashSet<ChargeItem>) {
+) -> Result<(Vec<TransparencyPath>, HashSet<ChargeItem>), SearchError> {
     let mut rcg = Rcg::extract(core, hscan);
     let mut paths: Vec<TransparencyPath> = Vec::new();
     let mut used: HashSet<EdgeId> = HashSet::new();
     let mut items: HashSet<ChargeItem> = HashSet::new();
 
     for i in core.input_ports() {
-        let found = propagate_input(core, &mut rcg, i, level, &used, &mut items);
+        let found = propagate_input(core, &mut rcg, i, level, &used, &mut items)?;
         if let Some(found) = found {
-            record(&rcg, core, &found, true, i, &mut used, &mut items, &mut paths);
+            record(
+                &rcg, core, &found, true, i, &mut used, &mut items, &mut paths,
+            );
         }
     }
     for o in core.output_ports() {
-        let found = justify_output(core, &mut rcg, o, level, &used, &mut items);
+        let found = justify_output(core, &mut rcg, o, level, &used, &mut items)?;
         if let Some(found) = found {
-            record(&rcg, core, &found, false, o, &mut used, &mut items, &mut paths);
+            record(
+                &rcg, core, &found, false, o, &mut used, &mut items, &mut paths,
+            );
         }
     }
-    (paths, items)
+    Ok((paths, items))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -324,7 +330,7 @@ fn justify_output(
     level: u8,
     used: &HashSet<EdgeId>,
     items: &mut HashSet<ChargeItem>,
-) -> Option<PathFound> {
+) -> Result<Option<PathFound>, SearchError> {
     let node = RcgNode::Out(o);
     let mut best = phased_search(rcg, node, level, used, SearchKind::Backward);
     let is_data = core.port(o).class() == SignalClass::Data;
@@ -333,7 +339,7 @@ fn justify_output(
         None => true,
     };
     if needs_mux {
-        let from_input = pick_input_for(core, o);
+        let from_input = pick_input_for(core, o)?;
         let reg = rcg
             .edges_into(node)
             .map(|e| rcg.edge(e).from)
@@ -354,7 +360,7 @@ fn justify_output(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// Searches for a propagation of input `i`, mirroring [`justify_output`].
@@ -365,7 +371,7 @@ fn propagate_input(
     level: u8,
     used: &HashSet<EdgeId>,
     items: &mut HashSet<ChargeItem>,
-) -> Option<PathFound> {
+) -> Result<Option<PathFound>, SearchError> {
     let node = RcgNode::In(i);
     let mut best = phased_search(rcg, node, level, used, SearchKind::Forward);
     let is_data = core.port(i).class() == SignalClass::Data;
@@ -380,7 +386,7 @@ fn propagate_input(
             .edges_from(node)
             .map(|e| rcg.edge(e).to)
             .find(|n| n.is_reg());
-        let to_output = pick_output_for(core, i);
+        let to_output = pick_output_for(core, i)?;
         let width = mux_width(core, i, to_output);
         let mux_from = reachable_reg.unwrap_or(node);
         rcg.add_transparency_mux(
@@ -389,10 +395,7 @@ fn propagate_input(
             BitRange::full(width),
             BitRange::full(width),
         );
-        items.insert(ChargeItem::TransMux {
-            anchor: i,
-            width,
-        });
+        items.insert(ChargeItem::TransMux { anchor: i, width });
         let with_mux = phased_search(rcg, node, level, used, SearchKind::Forward);
         if let Some(f) = with_mux {
             if best.as_ref().is_none_or(|b| f.latency < b.latency) {
@@ -400,7 +403,7 @@ fn propagate_input(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 #[derive(Clone, Copy)]
@@ -444,7 +447,7 @@ fn phased_search(
     }
 }
 
-fn pick_input_for(core: &Core, o: PortId) -> PortId {
+fn pick_input_for(core: &Core, o: PortId) -> Result<PortId, SearchError> {
     let want = core.port(o).width();
     let inputs = core.input_ports();
     // Prefer a data input wide enough; then the widest data input; then
@@ -452,9 +455,7 @@ fn pick_input_for(core: &Core, o: PortId) -> PortId {
     inputs
         .iter()
         .copied()
-        .find(|i| {
-            core.port(*i).class() == SignalClass::Data && core.port(*i).width() >= want
-        })
+        .find(|i| core.port(*i).class() == SignalClass::Data && core.port(*i).width() >= want)
         .or_else(|| {
             inputs
                 .iter()
@@ -463,18 +464,18 @@ fn pick_input_for(core: &Core, o: PortId) -> PortId {
                 .max_by_key(|i| core.port(*i).width())
         })
         .or_else(|| inputs.first().copied())
-        .expect("core has at least one input")
+        .ok_or_else(|| SearchError::NoInputPorts {
+            core: core.name().to_string(),
+        })
 }
 
-fn pick_output_for(core: &Core, i: PortId) -> PortId {
+fn pick_output_for(core: &Core, i: PortId) -> Result<PortId, SearchError> {
     let want = core.port(i).width();
     let outputs = core.output_ports();
     outputs
         .iter()
         .copied()
-        .find(|o| {
-            core.port(*o).class() == SignalClass::Data && core.port(*o).width() >= want
-        })
+        .find(|o| core.port(*o).class() == SignalClass::Data && core.port(*o).width() >= want)
         .or_else(|| {
             outputs
                 .iter()
@@ -483,7 +484,9 @@ fn pick_output_for(core: &Core, i: PortId) -> PortId {
                 .max_by_key(|o| core.port(*o).width())
         })
         .or_else(|| outputs.first().copied())
-        .expect("core has at least one output")
+        .ok_or_else(|| SearchError::NoOutputPorts {
+            core: core.name().to_string(),
+        })
 }
 
 fn mux_width(core: &Core, i: PortId, o: PortId) -> u16 {
@@ -519,7 +522,8 @@ mod tests {
         let pc = b.register("PC", 8).unwrap();
         let mar_off = b.register("MAR_offset", 8).unwrap();
         let mar_page = b.register("MAR_page", 4).unwrap();
-        b.connect_mux(RtlNode::Port(data), RtlNode::Reg(ir), 0).unwrap();
+        b.connect_mux(RtlNode::Port(data), RtlNode::Reg(ir), 0)
+            .unwrap();
         // O-split IR: low nibble to ACC low and MAR page, high nibble to
         // ACC high.
         b.connect_mux_slice(
@@ -546,12 +550,17 @@ mod tests {
             0,
         )
         .unwrap();
-        b.connect_mux(RtlNode::Reg(acc), RtlNode::Reg(status), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(status), RtlNode::Reg(tmp), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(tmp), RtlNode::Reg(pc), 0).unwrap();
-        b.connect_mux(RtlNode::Reg(pc), RtlNode::Reg(mar_off), 0).unwrap();
+        b.connect_mux(RtlNode::Reg(acc), RtlNode::Reg(status), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(status), RtlNode::Reg(tmp), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(tmp), RtlNode::Reg(pc), 0)
+            .unwrap();
+        b.connect_mux(RtlNode::Reg(pc), RtlNode::Reg(mar_off), 0)
+            .unwrap();
         // Non-HSCAN shortcut: mux M.
-        b.connect_mux(RtlNode::Port(data), RtlNode::Reg(mar_off), 1).unwrap();
+        b.connect_mux(RtlNode::Port(data), RtlNode::Reg(mar_off), 1)
+            .unwrap();
         b.connect_reg_to_port(mar_off, a_lo).unwrap();
         b.connect_reg_to_port(mar_page, a_hi).unwrap();
         b.build().unwrap()
@@ -646,7 +655,9 @@ mod tests {
         let d = b.port("d", Direction::In, 8).unwrap();
         let q = b.port("q", Direction::Out, 8).unwrap();
         let rst = b.control_port("rst", Direction::In).unwrap();
-        let rd = b.port_with_class("rd", Direction::Out, 1, SignalClass::Control).unwrap();
+        let rd = b
+            .port_with_class("rd", Direction::Out, 1, SignalClass::Control)
+            .unwrap();
         let r = b.register("r", 8).unwrap();
         let c1 = b.register("c1", 1).unwrap();
         let c2 = b.register("c2", 1).unwrap();

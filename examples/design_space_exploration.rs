@@ -76,8 +76,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Objective (ii): the cheapest point meeting a mid-range TAT budget.
-    let tat_budget =
-        (min_area.test_application_time() + min_tat.test_application_time()) / 2;
+    let tat_budget = (min_area.test_application_time() + min_tat.test_application_time()) / 2;
     let obj2 = explorer.optimize(Objective::MinAreaUnderTat {
         max_tat_cycles: tat_budget,
     });

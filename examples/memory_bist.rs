@@ -118,11 +118,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let bist_tat = plans.iter().map(|p| p.test_cycles()).max().unwrap_or(0);
     let bist_cells: u64 = plans.iter().map(|p| p.overhead_cells(&lib)).sum();
     println!("\nwhole-chip budget:");
-    println!("  logic (SOCET)    : {logic_tat} cycles, {} cells", plan.overhead_cells(&lib));
-    println!("  memories (BIST)  : {bist_tat} cycles, {bist_cells} cells (runs concurrently)");
     println!(
-        "  chip test time   : {} cycles",
-        logic_tat.max(bist_tat)
+        "  logic (SOCET)    : {logic_tat} cycles, {} cells",
+        plan.overhead_cells(&lib)
     );
+    println!("  memories (BIST)  : {bist_tat} cycles, {bist_cells} cells (runs concurrently)");
+    println!("  chip test time   : {} cycles", logic_tat.max(bist_tat));
     Ok(())
 }

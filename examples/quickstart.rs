@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let prepared = prepare_soc(&soc, &costs, &TpgConfig::default())?;
     let lib = CellLibrary::generic_08um();
     println!("chip `{}`:", soc.name());
-    println!("  original area     : {} cells", prepared.original_area_cells(&lib));
-    println!("  HSCAN overhead    : {} cells", prepared.hscan_overhead_cells(&lib));
+    println!(
+        "  original area     : {} cells",
+        prepared.original_area_cells(&lib)
+    );
+    println!(
+        "  HSCAN overhead    : {} cells",
+        prepared.hscan_overhead_cells(&lib)
+    );
     println!("  fault coverage    : {}", prepared.aggregate_coverage());
 
     // Chip-level planning: minimize test time under a generous budget.
@@ -57,7 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     });
     println!("  chosen versions   : {:?}", plan.choice);
     println!("  chip-level DFT    : {} cells", plan.overhead_cells(&lib));
-    println!("  test time         : {} cycles", plan.test_application_time());
+    println!(
+        "  test time         : {} cycles",
+        plan.test_application_time()
+    );
     for ep in &plan.episodes {
         println!("    {ep}");
     }

@@ -9,12 +9,16 @@
 //! soctool bist <system>                memory BIST plans
 //! ```
 //!
+//! `report` and `sweep` accept `--stats` to print the evaluation engine's
+//! counters (CCG builds vs. incremental patches, Dijkstra relaxations,
+//! route-cache hits, stage wall-times).
+//!
 //! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
 //! for an n-core generated SOC.
 
 use socet::bist::plan_memory_bist;
 use socet::cells::{CellLibrary, DftCosts};
-use socet::core::{parallelize, pareto_front, render_plan, schedule, Ccg, CoreTestData, Explorer};
+use socet::core::{parallelize, pareto_front, render_plan, Ccg, CoreTestData, Explorer};
 use socet::hscan::insert_hscan;
 use socet::rtl::Soc;
 use socet::socs::{barcode_system, generate_soc, system2, SyntheticConfig};
@@ -23,15 +27,16 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: soctool <command> [args]\n\
+        "usage: soctool <command> [args] [--stats]\n\
          commands:\n\
            systems\n\
-           report  <system> [choice]\n\
-           sweep   <system>\n\
+           report  <system> [choice] [--stats]\n\
+           sweep   <system> [--stats]\n\
            dot-rcg <system> <core-name>\n\
            dot-ccg <system> [choice]\n\
            bist    <system>\n\
-         systems: system1 | system2 | synthetic:<cores>"
+         systems: system1 | system2 | synthetic:<cores>\n\
+         --stats: print evaluation-engine counters and stage times"
     );
     ExitCode::from(2)
 }
@@ -82,7 +87,12 @@ fn parse_choice(soc: &Soc, arg: Option<&str>) -> Option<Vec<usize>> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stats = {
+        let before = args.len();
+        args.retain(|a| a != "--stats");
+        args.len() != before
+    };
     let Some(cmd) = args.first().map(String::as_str) else {
         return usage();
     };
@@ -107,7 +117,14 @@ fn main() -> ExitCode {
             let Some(choice) = parse_choice(&soc, args.get(2).map(String::as_str)) else {
                 return usage();
             };
-            let plan = schedule(&soc, &data, &choice, &costs);
+            let explorer = Explorer::new(&soc, &data, costs);
+            let plan = match explorer.try_evaluate(&choice) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot evaluate choice {choice:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             print!("{}", render_plan(&soc, &data, &plan));
             let par = parallelize(&soc, &plan);
             println!("\nparallel extension: {par}");
@@ -119,6 +136,9 @@ fn main() -> ExitCode {
                     ctrl.windows.len()
                 ),
                 Err(e) => println!("test controller : synthesis failed ({e})"),
+            }
+            if stats {
+                println!("\n{}", explorer.metrics());
             }
         }
         "sweep" => {
@@ -144,6 +164,9 @@ fn main() -> ExitCode {
                     p.test_application_time(),
                     p.choice
                 );
+            }
+            if stats {
+                println!("\n{}", explorer.metrics());
             }
         }
         "dot-rcg" => {

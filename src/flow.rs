@@ -68,6 +68,14 @@ impl PreparedSoc {
             .collect()
     }
 
+    /// A design-space explorer over `soc` fed by this prepared data — the
+    /// handoff from the per-core flow to chip-level planning. The explorer
+    /// keeps one warm evaluation engine, so repeated `evaluate`, `sweep`
+    /// and `optimize` calls share its incremental CCG and route cache.
+    pub fn explorer<'a>(&'a self, soc: &'a Soc, costs: DftCosts) -> socet_core::Explorer<'a> {
+        socet_core::Explorer::new(soc, &self.data, costs)
+    }
+
     /// HSCAN chain depth per core instance (0 for memory cores), the input
     /// the test-bus baseline needs.
     pub fn depths(&self) -> Vec<u64> {
@@ -123,11 +131,7 @@ pub fn prepare_core(
 /// # Errors
 ///
 /// Propagates the first elaboration failure.
-pub fn prepare_soc(
-    soc: &Soc,
-    costs: &DftCosts,
-    tpg: &TpgConfig,
-) -> Result<PreparedSoc, GateError> {
+pub fn prepare_soc(soc: &Soc, costs: &DftCosts, tpg: &TpgConfig) -> Result<PreparedSoc, GateError> {
     let n = soc.cores().len();
     let mut data = Vec::with_capacity(n);
     let mut netlists = Vec::with_capacity(n);

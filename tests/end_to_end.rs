@@ -51,8 +51,7 @@ fn check_system(soc: &Soc) {
 
     // FSCAN-BSCAN baseline: SOCET wins on both axes (Tables 2 and 3).
     let fb = FscanBscanReport::evaluate(soc, &prepared.vectors(), &costs);
-    let socet_total_area =
-        prepared.hscan_overhead_cells(&lib) + min_area.overhead_cells(&lib);
+    let socet_total_area = prepared.hscan_overhead_cells(&lib) + min_area.overhead_cells(&lib);
     assert!(
         socet_total_area < fb.total_cells(&lib),
         "{}: SOCET area {} !< FSCAN-BSCAN {}",

@@ -56,7 +56,12 @@ fn pareto_front_of_system1_is_consistent_with_objectives() {
 fn parallel_packing_of_system1_respects_serialization() {
     let soc = barcode_system();
     let data = prepare(&soc, 50);
-    let plan = schedule(&soc, &data, &vec![0; soc.cores().len()], &DftCosts::default());
+    let plan = schedule(
+        &soc,
+        &data,
+        &vec![0; soc.cores().len()],
+        &DftCosts::default(),
+    );
     let par = parallelize(&soc, &plan);
     // All three logic cores share the backbone, so the packing stays
     // serial — and must never exceed the serial bound.
@@ -68,7 +73,12 @@ fn parallel_packing_of_system1_respects_serialization() {
 fn report_and_dumps_cover_the_whole_system() {
     let soc = barcode_system();
     let data = prepare(&soc, 50);
-    let plan = schedule(&soc, &data, &vec![0; soc.cores().len()], &DftCosts::default());
+    let plan = schedule(
+        &soc,
+        &data,
+        &vec![0; soc.cores().len()],
+        &DftCosts::default(),
+    );
     let report = render_plan(&soc, &data, &plan);
     for core in ["PREPROCESSOR", "CPU", "DISPLAY"] {
         assert!(report.contains(core), "report misses {core}");

@@ -14,11 +14,7 @@ use std::sync::Arc;
 
 /// A random core: `n` registers of width `w`, wired into a random DAG-ish
 /// topology with an input and an output, plus optional extra mux edges.
-fn random_core(
-    n_regs: usize,
-    width: u16,
-    extra_edges: &[(usize, usize)],
-) -> Core {
+fn random_core(n_regs: usize, width: u16, extra_edges: &[(usize, usize)]) -> Core {
     let mut b = CoreBuilder::new("rand");
     let i = b.port("i", Direction::In, width).expect("fresh");
     let o = b.port("o", Direction::Out, width).expect("fresh");
@@ -31,7 +27,8 @@ fn random_core(
         b.connect_mux(RtlNode::Reg(w2[0]), RtlNode::Reg(w2[1]), 0)
             .expect("consistent");
     }
-    b.connect_reg_to_port(regs[n_regs - 1], o).expect("consistent");
+    b.connect_reg_to_port(regs[n_regs - 1], o)
+        .expect("consistent");
     let mut used_legs: Vec<u8> = vec![1; n_regs];
     for &(from, to) in extra_edges {
         let (from, to) = (from % n_regs, to % n_regs);
