@@ -61,34 +61,51 @@ impl CompactionStats {
 /// ```
 pub fn compact_tests(nl: &GateNetlist, tests: &mut TestSet) -> CompactionStats {
     let faults = fault_list(nl);
-    let sim = FaultSim::new(nl);
+    let mut sim = FaultSim::new(nl);
     let before = tests.patterns.len();
 
     // Which faults does the full set detect? (The preserved target.)
     let full = sim.detected(&faults, &tests.patterns);
 
-    let mut kept: Vec<Vec<bool>> = Vec::new();
+    // Walk the set backwards in whole 64-lane blocks. Per-pattern
+    // detection masks replay the greedy keep decision for every vector of
+    // a block from one packed simulation, instead of burning a block on
+    // each vector; a fault's single-vector verdict does not depend on
+    // which other faults are already covered, so the decisions are
+    // identical to the one-at-a-time pass.
+    let mut keep = vec![false; before];
     let mut covered = vec![false; faults.len()];
-    for pattern in tests.patterns.iter().rev() {
-        // Does this vector detect anything still uncovered?
-        let mut probe = covered.clone();
-        sim.accumulate(&faults, std::slice::from_ref(pattern), &mut probe);
-        if probe
-            .iter()
-            .zip(&covered)
-            .any(|(now, before)| *now && !*before)
-        {
-            covered = probe;
-            kept.push(pattern.clone());
+    let mut masks = vec![0u64; faults.len()];
+    let mut end = before;
+    'outer: while end > 0 && covered != full {
+        let start = end.saturating_sub(64);
+        let block = &tests.patterns[start..end];
+        sim.detection_masks(&faults, block, &covered, &mut masks);
+        for k in (0..block.len()).rev() {
+            let useful = masks
+                .iter()
+                .zip(&covered)
+                .any(|(m, c)| !*c && *m >> k & 1 != 0);
+            if useful {
+                keep[start + k] = true;
+                for (c, m) in covered.iter_mut().zip(&masks) {
+                    *c |= *m >> k & 1 != 0;
+                }
+                if covered == full {
+                    break 'outer;
+                }
+            }
         }
-        if covered == full {
-            break;
-        }
+        end = start;
     }
-    kept.reverse();
-    tests.patterns = kept;
+    let mut k = 0;
+    tests.patterns.retain(|_| {
+        k += 1;
+        keep[k - 1]
+    });
     // Coverage bookkeeping is unchanged by construction; assert in debug.
     debug_assert_eq!(sim.detected(&faults, &tests.patterns), full);
+    tests.stats.merge(&sim.take_metrics());
     CompactionStats {
         before,
         after: tests.patterns.len(),
@@ -127,7 +144,7 @@ mod tests {
         let nl = adder4();
         let mut tests = generate_tests(&nl, &TpgConfig::default());
         let faults = fault_list(&nl);
-        let sim = FaultSim::new(&nl);
+        let mut sim = FaultSim::new(&nl);
         let before = sim.detected(&faults, &tests.patterns);
         let stats = compact_tests(&nl, &mut tests);
         let after = sim.detected(&faults, &tests.patterns);

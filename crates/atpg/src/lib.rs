@@ -14,7 +14,9 @@
 //!   (combinational) view, two-plane (good/faulty) three-valued
 //!   implication, D-frontier objectives, X-path pruning and a backtrack
 //!   bound;
-//! * [`FaultSim`] — pattern-parallel combinational fault simulation;
+//! * [`FaultSim`] — pattern-parallel combinational fault simulation with
+//!   fanout-cone pruning and fault-parallel threading, instrumented by
+//!   [`AtpgMetrics`];
 //! * [`SeqFaultSim`] — fault-parallel (64 faults per word) three-valued
 //!   sequential fault simulation, used for the "Orig." rows of Table 3;
 //! * [`generate_tests`] — the ATPG driver: random-pattern phase, PODEM
@@ -42,6 +44,7 @@ pub mod compact;
 pub mod coverage;
 pub mod fault;
 pub mod fsim;
+pub mod metrics;
 pub mod podem;
 pub mod seqfsim;
 pub mod tpg;
@@ -50,6 +53,7 @@ pub use compact::{compact_tests, CompactionStats};
 pub use coverage::Coverage;
 pub use fault::{fault_list, Fault};
 pub use fsim::FaultSim;
+pub use metrics::AtpgMetrics;
 pub use podem::{Podem, PodemOutcome};
 pub use seqfsim::SeqFaultSim;
 pub use tpg::{generate_tests, TestSet, TpgConfig};

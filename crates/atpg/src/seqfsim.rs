@@ -7,6 +7,11 @@
 //! the value seen by fault *k* of the current block. Values are three-valued
 //! (flip-flops power up unknown), encoded as a pair of definite-1 /
 //! definite-0 bit masks per signal.
+//!
+//! Fault blocks are mutually independent — each shares only the read-only
+//! netlist and good-machine reference — so [`SeqFaultSim::run_from`]
+//! additionally partitions them across scoped threads; results are
+//! bit-identical for any worker count.
 
 use crate::fault::Fault;
 use socet_gate::{GateKind, GateNetlist, SeqSim, Tri};
@@ -33,6 +38,8 @@ use socet_gate::{GateKind, GateNetlist, SeqSim, Tri};
 #[derive(Debug)]
 pub struct SeqFaultSim<'a> {
     nl: &'a GateNetlist,
+    /// Worker cap for block partitioning (1 forces serial evaluation).
+    workers: usize,
 }
 
 /// Packed three-valued word: definite-1 and definite-0 lane masks.
@@ -107,7 +114,20 @@ impl P3 {
 impl<'a> SeqFaultSim<'a> {
     /// Creates a simulator over `nl`.
     pub fn new(nl: &'a GateNetlist) -> Self {
-        SeqFaultSim { nl }
+        SeqFaultSim {
+            nl,
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Caps the number of worker threads block partitioning may use; `0`
+    /// and `1` both force serial evaluation. Results are bit-identical for
+    /// every setting.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Simulates `vectors` (applied cycle by cycle from X-initialized state)
@@ -132,11 +152,29 @@ impl<'a> SeqFaultSim<'a> {
         let good_outputs: Vec<Vec<Tri>> = vectors.iter().map(|v| good_sim.step(v, None)).collect();
 
         let mut detected = vec![false; faults.len()];
-        for (block_idx, block) in faults.chunks(64).enumerate() {
-            let base = block_idx * 64;
-            let det = self.run_block(block, vectors, &good_outputs, init);
-            for (k, d) in det.iter().enumerate() {
-                detected[base + k] = *d;
+        let mut blocks: Vec<(&[Fault], &mut [bool])> =
+            faults.chunks(64).zip(detected.chunks_mut(64)).collect();
+        let workers = self.workers.min(blocks.len());
+        if workers > 1 {
+            // Fault-block partitioning: contiguous runs of independent
+            // 64-fault blocks per worker, each writing its own disjoint
+            // slice of the detection map, so the merge is the identity.
+            let per = blocks.len().div_ceil(workers);
+            let good_outputs = &good_outputs;
+            std::thread::scope(|s| {
+                for part in blocks.chunks_mut(per) {
+                    s.spawn(move || {
+                        for (block, det) in part.iter_mut() {
+                            let d = self.run_block(block, vectors, good_outputs, init);
+                            det.copy_from_slice(&d);
+                        }
+                    });
+                }
+            });
+        } else {
+            for (block, det) in blocks.iter_mut() {
+                let d = self.run_block(block, vectors, &good_outputs, init);
+                det.copy_from_slice(&d);
             }
         }
         detected
@@ -324,5 +362,25 @@ mod tests {
         let vectors = vec![vec![Tri::One; 40], vec![Tri::Zero; 40], vec![Tri::Zero; 40]];
         let det = sim.run(&faults, &vectors);
         assert!(det.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mut b = GateNetlistBuilder::new("wide");
+        let mut outs = Vec::new();
+        for i in 0..40 {
+            let x = b.input(&format!("x{i}"));
+            let q = b.dff(x);
+            outs.push(q);
+        }
+        for (i, q) in outs.iter().enumerate() {
+            b.output(&format!("q{i}"), *q);
+        }
+        let nl = b.build().unwrap();
+        let faults = fault_list(&nl);
+        let vectors = vec![vec![Tri::One; 40], vec![Tri::X; 40], vec![Tri::Zero; 40]];
+        let serial = SeqFaultSim::new(&nl).with_workers(1).run(&faults, &vectors);
+        let parallel = SeqFaultSim::new(&nl).with_workers(6).run(&faults, &vectors);
+        assert_eq!(serial, parallel);
     }
 }

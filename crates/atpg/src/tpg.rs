@@ -3,6 +3,7 @@
 use crate::coverage::Coverage;
 use crate::fault::fault_list;
 use crate::fsim::FaultSim;
+use crate::metrics::AtpgMetrics;
 use crate::podem::{Podem, PodemOutcome};
 use socet_gate::{GateNetlist, Tri};
 
@@ -36,6 +37,8 @@ pub struct TestSet {
     pub patterns: Vec<Vec<bool>>,
     /// The fault accounting of the run.
     pub coverage: Coverage,
+    /// Engine counters of the run (cone pruning, fault dropping, …).
+    pub stats: AtpgMetrics,
 }
 
 impl TestSet {
@@ -76,11 +79,12 @@ impl TestSet {
 /// ```
 pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
     let faults = fault_list(nl);
-    let sim = FaultSim::new(nl);
+    let mut sim = FaultSim::new(nl);
     let width = sim.pattern_width();
     let mut rng = XorShift64::new(config.seed);
     let mut detected = vec![false; faults.len()];
     let mut patterns: Vec<Vec<bool>> = Vec::new();
+    let mut fill_mask_events = 0u64;
 
     // Phase 1: random patterns (kept only if they detect something new).
     let mut batch: Vec<Vec<bool>> = Vec::new();
@@ -91,18 +95,30 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
         let before = count(&detected);
         sim.accumulate(&faults, &batch, &mut detected);
         if count(&detected) > before {
-            // Re-run pattern by pattern to keep only useful ones compactly.
+            // Keep only the useful patterns. Per-pattern detection masks
+            // replay the greedy pattern-by-pattern decision over whole
+            // 64-lane blocks instead of simulating one pattern per block.
             let mut redetected = vec![false; faults.len()];
-            for pat in batch {
-                let before = count(&redetected);
-                sim.accumulate(&faults, std::slice::from_ref(&pat), &mut redetected);
-                if count(&redetected) > before {
-                    patterns.push(pat);
+            let mut masks = vec![0u64; faults.len()];
+            for block in batch.chunks(64) {
+                sim.detection_masks(&faults, block, &redetected, &mut masks);
+                for (k, pat) in block.iter().enumerate() {
+                    let mut useful = false;
+                    for (fi, m) in masks.iter().enumerate() {
+                        if !redetected[fi] && m >> k & 1 != 0 {
+                            redetected[fi] = true;
+                            useful = true;
+                        }
+                    }
+                    if useful {
+                        patterns.push(pat.clone());
+                    }
                 }
             }
             detected = redetected;
         }
     }
+    let dropped_random = count(&detected);
 
     // Phase 2: PODEM top-off with fault dropping.
     let mut podem = Podem::new(nl, config.max_backtracks);
@@ -124,11 +140,17 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
                     .collect();
                 sim.accumulate(&faults, std::slice::from_ref(&filled), &mut detected);
                 patterns.push(filled);
+                // PODEM's three-valued implication proved a D at an output
+                // with the X inputs unassigned, so no fill can mask it; a
+                // miss here means PODEM and the fault simulator disagree.
+                // Coverage is counted from the simulator's verdict only.
+                debug_assert!(
+                    detected[fi],
+                    "random fill masked PODEM's test for fault {:?}",
+                    faults[fi]
+                );
                 if !detected[fi] {
-                    // The random fill should never mask the deterministic
-                    // assignment, but stay safe: count as detected since
-                    // PODEM proved a test exists.
-                    detected[fi] = true;
+                    fill_mask_events += 1;
                 }
             }
             PodemOutcome::Untestable => untestable += 1,
@@ -142,7 +164,15 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
         untestable,
         aborted,
     };
-    TestSet { patterns, coverage }
+    let mut stats = sim.take_metrics();
+    stats.faults_dropped_random = dropped_random as u64;
+    stats.faults_dropped_podem = (coverage.detected - dropped_random) as u64;
+    stats.fill_mask_events = fill_mask_events;
+    TestSet {
+        patterns,
+        coverage,
+        stats,
+    }
 }
 
 /// Deterministic random vectors for sequential fault simulation (the
@@ -176,7 +206,17 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        XorShift64 { state: seed.max(1) }
+        // Scramble through the splitmix64 finalizer so every seed —
+        // including 0, which the raw xorshift recurrence cannot accept —
+        // starts a distinct stream. (The old `seed.max(1)` clamp made
+        // seeds 0 and 1 identical.)
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -240,9 +280,13 @@ mod tests {
         let nl = adder4();
         let tests = generate_tests(&nl, &TpgConfig::default());
         let faults = fault_list(&nl);
-        let sim = FaultSim::new(&nl);
+        let mut sim = FaultSim::new(&nl);
         let det = sim.detected(&faults, &tests.patterns);
         assert_eq!(count(&det), tests.coverage.detected);
+        // …and with the fill-mask fallback gone, the naive oracle agrees.
+        let naive = sim.detected_naive(&faults, &tests.patterns);
+        assert_eq!(count(&naive), tests.coverage.detected);
+        assert_eq!(tests.stats.fill_mask_events, 0);
     }
 
     #[test]
@@ -268,6 +312,41 @@ mod tests {
     fn random_sequence_is_reproducible() {
         assert_eq!(random_sequence(4, 6, 9), random_sequence(4, 6, 9));
         assert_ne!(random_sequence(4, 6, 9), random_sequence(4, 6, 10));
+    }
+
+    #[test]
+    fn seed_zero_and_one_produce_distinct_streams() {
+        // Regression: `seed.max(1)` used to alias seed 0 onto seed 1.
+        assert_ne!(random_sequence(4, 16, 0), random_sequence(4, 16, 1));
+        let nl = adder4();
+        let zero = generate_tests(
+            &nl,
+            &TpgConfig {
+                seed: 0,
+                ..TpgConfig::default()
+            },
+        );
+        let one = generate_tests(
+            &nl,
+            &TpgConfig {
+                seed: 1,
+                ..TpgConfig::default()
+            },
+        );
+        assert_ne!(zero.patterns, one.patterns);
+    }
+
+    #[test]
+    fn driver_populates_engine_stats() {
+        let nl = adder4();
+        let tests = generate_tests(&nl, &TpgConfig::default());
+        assert!(tests.stats.blocks_simulated > 0);
+        assert!(tests.stats.cone_gate_evals > 0);
+        assert_eq!(tests.stats.fill_mask_events, 0);
+        assert_eq!(
+            tests.stats.faults_dropped_random + tests.stats.faults_dropped_podem,
+            tests.coverage.detected as u64
+        );
     }
 
     #[test]

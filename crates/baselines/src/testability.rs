@@ -87,21 +87,40 @@ fn core_fully_at_pins(soc: &Soc, cid: socet_rtl::CoreInstanceId) -> bool {
 ///
 /// `netlists[i]` is the elaborated netlist of core instance `i` (`None` for
 /// memory cores). Returns the merged coverage and the per-core test sets.
+///
+/// Cores are independent ATPG problems, so they are partitioned across
+/// scoped threads; each worker writes its own disjoint slice of the result
+/// and coverage is merged in core-index order, keeping the output identical
+/// to the serial loop.
 pub fn aggregate_core_coverage(
     netlists: &[Option<GateNetlist>],
     config: &TpgConfig,
 ) -> (Coverage, Vec<Option<TestSet>>) {
-    let mut total = Coverage::default();
-    let mut sets = Vec::with_capacity(netlists.len());
-    for nl in netlists {
-        match nl {
-            Some(nl) => {
-                let tests = generate_tests(nl, config);
-                total = total.merge(&tests.coverage);
-                sets.push(Some(tests));
+    let mut sets: Vec<Option<TestSet>> = Vec::new();
+    sets.resize_with(netlists.len(), || None);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(netlists.len().max(1));
+    if workers > 1 {
+        let per = netlists.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (in_part, out_part) in netlists.chunks(per).zip(sets.chunks_mut(per)) {
+                s.spawn(move || {
+                    for (nl, out) in in_part.iter().zip(out_part.iter_mut()) {
+                        *out = nl.as_ref().map(|nl| generate_tests(nl, config));
+                    }
+                });
             }
-            None => sets.push(None),
+        });
+    } else {
+        for (nl, out) in netlists.iter().zip(sets.iter_mut()) {
+            *out = nl.as_ref().map(|nl| generate_tests(nl, config));
         }
+    }
+    let mut total = Coverage::default();
+    for tests in sets.iter().flatten() {
+        total = total.merge(&tests.coverage);
     }
     (total, sets)
 }

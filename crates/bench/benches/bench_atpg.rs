@@ -1,11 +1,29 @@
-//! Criterion bench: elaboration, PODEM-based test generation and
-//! fault-parallel sequential fault simulation.
+//! Criterion bench: elaboration, PODEM-based test generation and fault
+//! simulation — the naive full-netlist path against the cone-pruned engine
+//! (cold = constructed per run, warm = cones and buffers reused, parallel =
+//! fault partitioning across all cores) on the largest netlist we have, the
+//! flattened barcode chip.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use socet_atpg::tpg::random_sequence;
-use socet_atpg::{fault_list, generate_tests, SeqFaultSim, TpgConfig};
+use socet_atpg::{fault_list, generate_tests, FaultSim, SeqFaultSim, TpgConfig};
+use socet_baselines::flatten_soc;
 use socet_gate::elaborate;
-use socet_socs::{gcd_core, preprocessor_core};
+use socet_socs::{barcode_system, gcd_core, preprocessor_core};
+
+/// Deterministic random scan patterns without pulling in an RNG dependency.
+fn lcg_patterns(width: usize, count: usize, mut seed: u64) -> Vec<Vec<bool>> {
+    (0..count)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    seed >> 63 != 0
+                })
+                .collect()
+        })
+        .collect()
+}
 
 fn bench_atpg(c: &mut Criterion) {
     let mut group = c.benchmark_group("atpg");
@@ -24,6 +42,32 @@ fn bench_atpg(c: &mut Criterion) {
     let vectors = random_sequence(pnl.inputs().len(), 32, 7);
     group.bench_function("seq_fault_sim/preprocessor_32c", |b| {
         b.iter(|| SeqFaultSim::new(&pnl).run(&faults, &vectors))
+    });
+
+    // Combinational fault simulation on the flattened barcode chip — the
+    // largest netlist in the repo. 128 patterns against the full fault
+    // list; both engines drop detected faults block-to-block, so they do
+    // comparable work.
+    let chip = flatten_soc(&barcode_system()).expect("barcode system flattens");
+    let chip_faults = fault_list(&chip);
+    let mut warm = FaultSim::new(&chip).with_workers(1);
+    let patterns = lcg_patterns(warm.pattern_width(), 128, 0xc41b);
+    group.bench_function("comb_fault_sim/chip_naive", |b| {
+        b.iter(|| FaultSim::new(&chip).detected_naive(&chip_faults, &patterns))
+    });
+    group.bench_function("comb_fault_sim/chip_cone_cold", |b| {
+        b.iter(|| {
+            FaultSim::new(&chip)
+                .with_workers(1)
+                .detected(&chip_faults, &patterns)
+        })
+    });
+    group.bench_function("comb_fault_sim/chip_cone_warm", |b| {
+        b.iter(|| warm.detected(&chip_faults, &patterns))
+    });
+    group.bench_function("comb_fault_sim/chip_cone_parallel", |b| {
+        let mut sim = FaultSim::new(&chip);
+        b.iter(|| sim.detected(&chip_faults, &patterns))
     });
     group.finish();
 }

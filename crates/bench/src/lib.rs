@@ -118,6 +118,15 @@ impl PreparedSystem {
                 acc.merge(&t.coverage)
             })
     }
+
+    /// Merged per-core ATPG-engine counters (cone pruning, fault dropping).
+    pub fn atpg_stats(&self) -> socet_atpg::AtpgMetrics {
+        let mut m = socet_atpg::AtpgMetrics::new();
+        for t in self.tests.iter().flatten() {
+            m.merge(&t.stats);
+        }
+        m
+    }
 }
 
 /// Prints a `measured vs paper` row with a ratio, used by every table

@@ -9,7 +9,13 @@
 //! increments; the [`Scheduler`](crate::schedule::Scheduler) owns one, the
 //! [`Explorer`](crate::explore::Explorer) aggregates across evaluations,
 //! and `soctool report --stats` / `fig10_design_space` print it.
+//!
+//! Test-generation work done on behalf of a flow (fault-simulation blocks,
+//! cone pruning, fault dropping) reports through the embedded
+//! [`AtpgMetrics`] block, folded in with [`Metrics::merge_atpg`] and shown
+//! by `soctool atpg --stats` and `table3_testability`.
 
+use socet_atpg::AtpgMetrics;
 use std::fmt;
 use std::time::Duration;
 
@@ -41,6 +47,9 @@ pub struct Metrics {
     /// Wall time spent assembling design points (overhead accounting,
     /// sorting).
     pub assemble_time: Duration,
+    /// Counters of the ATPG engines run on behalf of this flow (all zero
+    /// when no test generation happened).
+    pub atpg: AtpgMetrics,
 }
 
 impl Metrics {
@@ -63,6 +72,13 @@ impl Metrics {
         self.build_time += other.build_time;
         self.route_time += other.route_time;
         self.assemble_time += other.assemble_time;
+        self.atpg.merge(&other.atpg);
+    }
+
+    /// Folds one ATPG run's counters (e.g. a
+    /// [`TestSet`](socet_atpg::TestSet)'s `stats`) into this flow's totals.
+    pub fn merge_atpg(&mut self, stats: &AtpgMetrics) {
+        self.atpg.merge(stats);
     }
 }
 
@@ -105,7 +121,11 @@ impl fmt::Display for Metrics {
             fmt_time(self.build_time),
             fmt_time(self.route_time),
             fmt_time(self.assemble_time)
-        )
+        )?;
+        if self.atpg != AtpgMetrics::default() {
+            write!(f, "\n{}", self.atpg)?;
+        }
+        Ok(())
     }
 }
 
@@ -127,6 +147,10 @@ mod tests {
             build_time: Duration::from_micros(8),
             route_time: Duration::from_micros(9),
             assemble_time: Duration::from_micros(10),
+            atpg: AtpgMetrics {
+                blocks_simulated: 12,
+                ..AtpgMetrics::default()
+            },
         };
         let b = a.clone();
         a.merge(&b);
@@ -134,6 +158,26 @@ mod tests {
         assert_eq!(a.ccg_edges_rebuilt, 8);
         assert_eq!(a.system_mux_fallbacks, 14);
         assert_eq!(a.route_time, Duration::from_micros(18));
+        assert_eq!(a.atpg.blocks_simulated, 24);
+    }
+
+    #[test]
+    fn merge_atpg_folds_engine_counters() {
+        let mut m = Metrics::new();
+        m.merge_atpg(&AtpgMetrics {
+            cone_gate_evals: 5,
+            fill_mask_events: 1,
+            ..AtpgMetrics::default()
+        });
+        m.merge_atpg(&AtpgMetrics {
+            cone_gate_evals: 7,
+            ..AtpgMetrics::default()
+        });
+        assert_eq!(m.atpg.cone_gate_evals, 12);
+        assert_eq!(m.atpg.fill_mask_events, 1);
+        // The ATPG block only renders once counters are nonzero.
+        assert!(!Metrics::new().to_string().contains("atpg engine stats"));
+        assert!(m.to_string().contains("atpg engine stats"));
     }
 
     #[test]

@@ -284,6 +284,18 @@ impl GateNetlist {
         r
     }
 
+    /// Position of every signal in [`GateNetlist::topo_order`], or
+    /// `u32::MAX` for sources (inputs, flip-flops, constants) that never
+    /// appear in it. Fault-cone construction sorts transitive fanouts with
+    /// this so cone members can be re-evaluated in one forward pass.
+    pub fn topo_positions(&self) -> Vec<u32> {
+        let mut pos = vec![u32::MAX; self.gates.len()];
+        for (k, s) in self.topo.iter().enumerate() {
+            pos[s.index()] = k as u32;
+        }
+        pos
+    }
+
     /// Fanout lists: for each signal, the gates that consume it.
     pub fn fanouts(&self) -> Vec<Vec<SignalId>> {
         let mut fo = vec![Vec::new(); self.gates.len()];

@@ -156,9 +156,29 @@ impl<'a> PackedSim<'a> {
     ///
     /// Panics on input or state length mismatch.
     pub fn eval(&self, pi: &[u64], ff: &[u64], fault: Option<(SignalId, bool)>) -> Vec<u64> {
+        let mut v = Vec::new();
+        self.eval_into(pi, ff, fault, &mut v);
+        v
+    }
+
+    /// Like [`PackedSim::eval`] but writes into a caller-owned buffer, so a
+    /// hot loop (e.g. the fault simulator's per-block good-value pass) can
+    /// reuse one allocation across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input or state length mismatch.
+    pub fn eval_into(
+        &self,
+        pi: &[u64],
+        ff: &[u64],
+        fault: Option<(SignalId, bool)>,
+        v: &mut Vec<u64>,
+    ) {
         assert_eq!(pi.len(), self.nl.inputs().len(), "input length");
         assert_eq!(ff.len(), self.nl.flip_flop_count(), "state length");
-        let mut v = vec![0u64; self.nl.gates().len()];
+        v.clear();
+        v.resize(self.nl.gates().len(), 0);
         for ((_, s), val) in self.nl.inputs().iter().zip(pi) {
             v[s.index()] = *val;
         }
@@ -181,7 +201,7 @@ impl<'a> PackedSim<'a> {
                 kind,
                 GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1
             ) {
-                force(&mut v, s, stuck);
+                force(v, s, stuck);
             }
         }
         for s in self.nl.topo_order() {
@@ -205,11 +225,10 @@ impl<'a> PackedSim<'a> {
             v[s.index()] = val;
             if let Some((fs, stuck)) = fault {
                 if fs == *s {
-                    force(&mut v, *s, stuck);
+                    force(v, *s, stuck);
                 }
             }
         }
-        v
     }
 
     /// Packed primary-output values from a full signal vector.

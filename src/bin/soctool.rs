@@ -6,12 +6,14 @@
 //! soctool sweep <system>               design-space table + Pareto front
 //! soctool dot-rcg <system> <core>      Graphviz of a core's RCG
 //! soctool dot-ccg <system> [choice]    Graphviz of the chip's CCG (Fig. 9)
+//! soctool atpg <system>                per-core combinational ATPG run
 //! soctool bist <system>                memory BIST plans
 //! ```
 //!
 //! `report` and `sweep` accept `--stats` to print the evaluation engine's
 //! counters (CCG builds vs. incremental patches, Dijkstra relaxations,
-//! route-cache hits, stage wall-times).
+//! route-cache hits, stage wall-times); `atpg --stats` prints the fault
+//! simulator's counters (cone pruning, fault dropping, parallel shards).
 //!
 //! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
 //! for an n-core generated SOC.
@@ -34,9 +36,10 @@ fn usage() -> ExitCode {
            sweep   <system> [--stats]\n\
            dot-rcg <system> <core-name>\n\
            dot-ccg <system> [choice]\n\
+           atpg    <system> [--stats]\n\
            bist    <system>\n\
          systems: system1 | system2 | synthetic:<cores>\n\
-         --stats: print evaluation-engine counters and stage times"
+         --stats: print engine counters (evaluation or ATPG)"
     );
     ExitCode::from(2)
 }
@@ -189,6 +192,40 @@ fn main() -> ExitCode {
             };
             let ccg = Ccg::build(&soc, &data, &choice);
             print!("{}", ccg.to_dot(&soc));
+        }
+        "atpg" => {
+            let prepared =
+                match socet::flow::prepare_soc(&soc, &costs, &socet::atpg::TpgConfig::default()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("cannot prepare {}: {e}", soc.name());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            println!(
+                "{:<14} {:>7} {:>8} {:>8} {:>8}",
+                "core", "faults", "FC%", "TEff%", "vectors"
+            );
+            for (inst, tests) in soc.cores().iter().zip(&prepared.tests) {
+                match tests {
+                    Some(t) => println!(
+                        "{:<14} {:>7} {:>8.2} {:>8.2} {:>8}",
+                        inst.name(),
+                        t.coverage.total,
+                        t.coverage.fault_coverage(),
+                        t.coverage.test_efficiency(),
+                        t.vector_count()
+                    ),
+                    None => println!("{:<14} {:>7}", inst.name(), "memory"),
+                }
+            }
+            let agg = prepared.aggregate_coverage();
+            println!("\naggregate: {agg}");
+            if stats {
+                let mut m = socet::core::Metrics::new();
+                m.merge_atpg(&prepared.atpg_stats());
+                println!("\n{}", m.atpg);
+            }
         }
         "bist" => {
             let plans = plan_memory_bist(&soc);

@@ -76,6 +76,16 @@ impl PreparedSoc {
         socet_core::Explorer::new(soc, &self.data, costs)
     }
 
+    /// Merged ATPG-engine counters over every logic core's test
+    /// generation, ready for [`socet_core::Metrics::merge_atpg`].
+    pub fn atpg_stats(&self) -> socet_atpg::AtpgMetrics {
+        let mut m = socet_atpg::AtpgMetrics::new();
+        for t in self.tests.iter().flatten() {
+            m.merge(&t.stats);
+        }
+        m
+    }
+
     /// HSCAN chain depth per core instance (0 for memory cores), the input
     /// the test-bus baseline needs.
     pub fn depths(&self) -> Vec<u64> {

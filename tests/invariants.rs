@@ -135,7 +135,7 @@ proptest! {
         let nl = elaborate(core).expect("elaborates").netlist;
         let mut tests = generate_tests(&nl, &TpgConfig::default());
         let faults = fault_list(&nl);
-        let sim = FaultSim::new(&nl);
+        let mut sim = FaultSim::new(&nl);
         let before_det = sim.detected(&faults, &tests.patterns);
         let stats = compact_tests(&nl, &mut tests);
         prop_assert!(stats.after <= stats.before);

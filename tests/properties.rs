@@ -3,6 +3,7 @@
 //! shape.
 
 use proptest::prelude::*;
+use socet::atpg::{fault_list, generate_tests, FaultSim, TpgConfig};
 use socet::cells::{CellLibrary, DftCosts};
 use socet::core::{schedule, CoreTestData};
 use socet::gate::{elaborate, CombSim, PackedSim};
@@ -157,6 +158,64 @@ proptest! {
             let pbit = p & 1 != 0;
             prop_assert_eq!(*s, pbit, "signal {} disagrees", k);
         }
+    }
+
+    /// The cone-pruned fault simulator — serial and fault-partitioned —
+    /// produces bit-identical detection maps to the retained full-netlist
+    /// oracle on every elaborated random core.
+    #[test]
+    fn cone_fault_sim_matches_naive_oracle(
+        n in 2usize..6,
+        width in 1u16..8,
+        edges in prop::collection::vec((0usize..6, 0usize..6), 0..4),
+        pattern_seed in 0u64..u64::MAX,
+        n_patterns in 1usize..90,
+    ) {
+        let core = random_core(n, width, &edges);
+        let elab = elaborate(&core).expect("elaboration succeeds");
+        let nl = &elab.netlist;
+        let faults = fault_list(nl);
+        let mut seed = pattern_seed | 1;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed & 1 != 0
+        };
+        let width = nl.inputs().len() + nl.flip_flop_count();
+        let patterns: Vec<Vec<bool>> = (0..n_patterns)
+            .map(|_| (0..width).map(|_| next()).collect())
+            .collect();
+        let naive = FaultSim::new(nl).detected_naive(&faults, &patterns);
+        let serial = FaultSim::new(nl).with_workers(1).detected(&faults, &patterns);
+        let parallel = FaultSim::new(nl).with_workers(4).detected(&faults, &patterns);
+        prop_assert_eq!(&naive, &serial, "serial cone engine diverged");
+        prop_assert_eq!(&naive, &parallel, "parallel cone engine diverged");
+    }
+
+    /// The ATPG driver's reported coverage is honest: resimulating its
+    /// patterns (cone engine and naive oracle alike) re-detects exactly the
+    /// faults it claimed.
+    #[test]
+    fn reported_coverage_survives_resimulation(
+        n in 2usize..5,
+        width in 1u16..6,
+        edges in prop::collection::vec((0usize..5, 0usize..5), 0..4),
+        seed in 0u64..u64::MAX,
+    ) {
+        let core = random_core(n, width, &edges);
+        let elab = elaborate(&core).expect("elaboration succeeds");
+        let nl = &elab.netlist;
+        let cfg = TpgConfig { seed, max_backtracks: 64, ..TpgConfig::default() };
+        let tests = generate_tests(nl, &cfg);
+        let faults = fault_list(nl);
+        let mut sim = FaultSim::new(nl);
+        let det = sim.detected(&faults, &tests.patterns);
+        let redetected = det.iter().filter(|&&d| d).count();
+        prop_assert_eq!(redetected, tests.coverage.detected);
+        prop_assert_eq!(tests.stats.fill_mask_events, 0);
+        let naive = sim.detected_naive(&faults, &tests.patterns);
+        prop_assert_eq!(det, naive);
     }
 
     /// Scheduling a two-core SOC never double-books: the per-vector cycle
