@@ -1,0 +1,89 @@
+//! Criterion bench: the content-addressed preparation pipeline against the
+//! plain serial flow — cold, memoized (repeated cores), and disk-warm.
+//!
+//! The acceptance bar for the pipeline: a warm disk-cache run beats the
+//! cold serial flow by at least 5×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use socet::atpg::TpgConfig;
+use socet::cells::DftCosts;
+use socet::flow::{prepare_soc_uncached, prepare_soc_with, PrepareOptions};
+use socet::rtl::{Soc, SocBuilder};
+use std::sync::Arc;
+
+fn light_tpg() -> TpgConfig {
+    TpgConfig {
+        random_patterns: 16,
+        max_backtracks: 32,
+        ..TpgConfig::default()
+    }
+}
+
+/// Four instances of one core behind a shared `Arc` — the repeated-IP
+/// shape the in-process memo exists for.
+fn quad_soc() -> Soc {
+    let gcd = Arc::new(socet::socs::gcd_core());
+    let port = |n: &str| gcd.find_port(n).expect("port exists");
+    let mut b = SocBuilder::new("quad");
+    let x = b.input_pin("X", 12).expect("fresh");
+    let g = b.output_pin("G", 12).expect("fresh");
+    let mut prev = None;
+    for name in ["gcd_0", "gcd_1", "gcd_2", "gcd_3"] {
+        let u = b.instantiate(name, Arc::clone(&gcd)).expect("fresh");
+        match prev {
+            None => b.connect_pin_to_core(x, u, port("X")).expect("consistent"),
+            Some(p) => b
+                .connect_cores(p, port("G"), u, port("Y"))
+                .expect("consistent"),
+        };
+        prev = Some(u);
+    }
+    b.connect_core_to_pin(prev.expect("nonempty"), port("G"), g)
+        .expect("consistent");
+    b.build().expect("quad SOC is statically consistent")
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let costs = DftCosts::default();
+    let tpg = light_tpg();
+    let system2 = socet::socs::system2();
+    let quad = quad_soc();
+
+    let cache = std::env::temp_dir().join(format!("socet-bench-prepare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let warm_opts = PrepareOptions {
+        workers: 1,
+        cache_dir: Some(cache.clone()),
+    };
+    // Populate the store once so the "warm" case measures pure cache reads.
+    prepare_soc_with(&system2, &costs, &tpg, &warm_opts).expect("system2 prepares");
+
+    let mut group = c.benchmark_group("prepare");
+    group.sample_size(10);
+    group.bench_function("cold-serial/system2", |b| {
+        b.iter(|| prepare_soc_uncached(&system2, &costs, &tpg).expect("system2 prepares"))
+    });
+    group.bench_function("pipeline/system2", |b| {
+        b.iter(|| {
+            prepare_soc_with(&system2, &costs, &tpg, &PrepareOptions::default())
+                .expect("system2 prepares")
+        })
+    });
+    group.bench_function("disk-warm/system2", |b| {
+        b.iter(|| prepare_soc_with(&system2, &costs, &tpg, &warm_opts).expect("system2 prepares"))
+    });
+    group.bench_function("cold-serial/quad-gcd", |b| {
+        b.iter(|| prepare_soc_uncached(&quad, &costs, &tpg).expect("quad prepares"))
+    });
+    group.bench_function("memo/quad-gcd", |b| {
+        b.iter(|| {
+            prepare_soc_with(&quad, &costs, &tpg, &PrepareOptions::default())
+                .expect("quad prepares")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+criterion_group!(benches, bench_prepare);
+criterion_main!(benches);

@@ -47,8 +47,15 @@ impl Coverage {
         (self.detected + self.untestable) as f64 / self.total as f64 * 100.0
     }
 
-    /// Merges the accounting of two disjoint fault populations (e.g. two
-    /// cores of an SOC).
+    /// Merges the accounting of two fault populations.
+    ///
+    /// Populations are counted **per physical instance**, not per core
+    /// type: an SOC carrying two instances of the same core merges that
+    /// core's accounting twice, doubling `total` and `detected` — each
+    /// physical copy really is tested, so chip-level FC/TEff weight every
+    /// instance by its own fault count. Sharing one prepared artifact
+    /// across repeated instances (the preparation pipeline's memo) must
+    /// therefore never change the aggregate.
     pub fn merge(&self, other: &Coverage) -> Coverage {
         Coverage {
             total: self.total + other.total,

@@ -40,6 +40,7 @@
 //! # Ok::<(), socet_gate::GateError>(())
 //! ```
 
+pub mod codec;
 pub mod compact;
 pub mod coverage;
 pub mod fault;
@@ -49,6 +50,7 @@ pub mod podem;
 pub mod seqfsim;
 pub mod tpg;
 
+pub use codec::{decode_test_set, encode_test_set};
 pub use compact::{compact_tests, CompactionStats};
 pub use coverage::Coverage;
 pub use fault::{fault_list, Fault};

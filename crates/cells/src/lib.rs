@@ -20,9 +20,13 @@
 //!     + 8 * u64::from(lib.area_of(CellKind::Dff)));
 //! ```
 
+pub mod codec;
 pub mod library;
 pub mod report;
 
+pub use codec::{
+    decode_area_report, encode_area_report, CodecError, Dec, Enc, Fingerprint, StableHasher,
+};
 pub use library::{CellKind, CellLibrary};
 pub use report::{AreaReport, DftCosts};
 

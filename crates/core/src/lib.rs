@@ -82,7 +82,7 @@ pub use controller::{build_controller, TestController};
 pub use error::ScheduleError;
 pub use explore::{Explorer, Objective};
 pub use interconnect::{interconnect_report, InterconnectReport, UntestedReason};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, PrepareMetrics};
 pub use parallel::{parallelize, ParallelSchedule};
 pub use pareto::{best_weighted, pareto_front};
 pub use plan::{CoreEpisode, CoreTestData, DesignPoint, SystemMux};

@@ -1,0 +1,205 @@
+//! Compact binary codec for [`GateNetlist`] — the gate-level slice of a
+//! prepared-core artifact.
+//!
+//! The encoding is positional and little-endian (see
+//! [`socet_cells::codec`]): gate kinds as one byte, operands as dense
+//! `u32` signal indices, and the cached topological order verbatim so a
+//! decoded netlist is field-for-field identical to the one encoded —
+//! including evaluation order, which the fault simulator's determinism
+//! depends on. Decoding validates shape (operand bounds, arity-consistent
+//! sentinels) but not acyclicity; the artifact store guards whole-file
+//! integrity with a checksum and treats any failure as a cache miss.
+
+use crate::netlist::{Gate, GateKind, GateNetlist, SignalId};
+use socet_cells::{CodecError, Dec, Enc};
+
+fn kind_tag(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => 1,
+        GateKind::Input => 2,
+        GateKind::Dff => 3,
+        GateKind::Not => 4,
+        GateKind::Buf => 5,
+        GateKind::And2 => 6,
+        GateKind::Or2 => 7,
+        GateKind::Nand2 => 8,
+        GateKind::Nor2 => 9,
+        GateKind::Xor2 => 10,
+        GateKind::Xnor2 => 11,
+        GateKind::Mux2 => 12,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<GateKind, CodecError> {
+    Ok(match tag {
+        0 => GateKind::Const0,
+        1 => GateKind::Const1,
+        2 => GateKind::Input,
+        3 => GateKind::Dff,
+        4 => GateKind::Not,
+        5 => GateKind::Buf,
+        6 => GateKind::And2,
+        7 => GateKind::Or2,
+        8 => GateKind::Nand2,
+        9 => GateKind::Nor2,
+        10 => GateKind::Xor2,
+        11 => GateKind::Xnor2,
+        12 => GateKind::Mux2,
+        _ => return Err(CodecError::Corrupt("gate kind out of range")),
+    })
+}
+
+/// Encodes `nl` into `e`.
+pub fn encode_netlist(nl: &GateNetlist, e: &mut Enc) {
+    e.put_str(&nl.name);
+    e.put_usize(nl.gates.len());
+    for g in &nl.gates {
+        e.put_u8(kind_tag(g.kind));
+        for op in g.operands() {
+            e.put_u32(op.index() as u32);
+        }
+    }
+    e.put_usize(nl.inputs.len());
+    for (name, s) in &nl.inputs {
+        e.put_str(name);
+        e.put_u32(s.index() as u32);
+    }
+    e.put_usize(nl.outputs.len());
+    for (name, s) in &nl.outputs {
+        e.put_str(name);
+        e.put_u32(s.index() as u32);
+    }
+    e.put_usize(nl.topo.len());
+    for s in &nl.topo {
+        e.put_u32(s.index() as u32);
+    }
+}
+
+fn get_signal(d: &mut Dec, gate_count: usize) -> Result<SignalId, CodecError> {
+    let idx = d.get_u32()? as usize;
+    if idx >= gate_count {
+        return Err(CodecError::Corrupt("signal index out of range"));
+    }
+    Ok(SignalId::from_index(idx))
+}
+
+/// Decodes a netlist written by [`encode_netlist`].
+pub fn decode_netlist(d: &mut Dec) -> Result<GateNetlist, CodecError> {
+    let name = d.get_str()?;
+    let gate_count = d.get_usize()?;
+    let mut gates = Vec::with_capacity(gate_count.min(1 << 24));
+    for _ in 0..gate_count {
+        let kind = kind_from_tag(d.get_u8()?)?;
+        let mut ops = [SignalId::NONE; 3];
+        for op in ops.iter_mut().take(kind.arity()) {
+            // A DFF's D operand may point forward (sequential feedback), so
+            // operand indices are only bounded by the gate count, not by
+            // position.
+            let idx = d.get_u32()? as usize;
+            if idx >= gate_count {
+                return Err(CodecError::Corrupt("gate operand out of range"));
+            }
+            *op = SignalId::from_index(idx);
+        }
+        gates.push(Gate { kind, ops });
+    }
+    let input_count = d.get_usize()?;
+    let mut inputs = Vec::with_capacity(input_count.min(1 << 20));
+    for _ in 0..input_count {
+        let name = d.get_str()?;
+        inputs.push((name, get_signal(d, gate_count)?));
+    }
+    let output_count = d.get_usize()?;
+    let mut outputs = Vec::with_capacity(output_count.min(1 << 20));
+    for _ in 0..output_count {
+        let name = d.get_str()?;
+        outputs.push((name, get_signal(d, gate_count)?));
+    }
+    let topo_count = d.get_usize()?;
+    if topo_count > gate_count {
+        return Err(CodecError::Corrupt("topo order longer than gate list"));
+    }
+    let mut topo = Vec::with_capacity(topo_count);
+    for _ in 0..topo_count {
+        topo.push(get_signal(d, gate_count)?);
+    }
+    Ok(GateNetlist {
+        name,
+        gates,
+        inputs,
+        outputs,
+        topo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateNetlistBuilder;
+    use crate::sim::CombSim;
+
+    fn sample() -> GateNetlist {
+        let mut b = GateNetlistBuilder::new("sample");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.gate2(GateKind::Xor2, a, c);
+        let q = b.dff(x);
+        let m = b.mux(a, c, q);
+        b.output("m", m);
+        b.build().unwrap()
+    }
+
+    fn assert_netlists_identical(a: &GateNetlist, b: &GateNetlist) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.gates(), b.gates());
+        assert_eq!(a.inputs(), b.inputs());
+        assert_eq!(a.outputs(), b.outputs());
+        assert_eq!(a.topo_order(), b.topo_order());
+    }
+
+    #[test]
+    fn netlist_round_trips_exactly() {
+        let nl = sample();
+        let mut e = Enc::new();
+        encode_netlist(&nl, &mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = decode_netlist(&mut d).unwrap();
+        assert!(d.is_empty());
+        assert_netlists_identical(&nl, &back);
+        // The decoded netlist simulates like the original.
+        let sim_a = CombSim::new(&nl);
+        let sim_b = CombSim::new(&back);
+        assert_eq!(sim_a.run(&[true, false]), sim_b.run(&[true, false]));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let nl = sample();
+        let enc = |nl: &GateNetlist| {
+            let mut e = Enc::new();
+            encode_netlist(nl, &mut e);
+            e.into_bytes()
+        };
+        assert_eq!(enc(&nl), enc(&nl.clone()));
+    }
+
+    #[test]
+    fn out_of_range_operand_is_corrupt() {
+        let nl = sample();
+        let mut e = Enc::new();
+        encode_netlist(&nl, &mut e);
+        let mut bytes = e.into_bytes();
+        // Truncating anywhere must error, never panic.
+        for cut in [3, bytes.len() / 2, bytes.len() - 1] {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(decode_netlist(&mut d).is_err());
+        }
+        // Blow up the gate count so the first operand is out of range.
+        let name_len = 8 + "sample".len();
+        bytes[name_len] = 0xff;
+        let mut d = Dec::new(&bytes);
+        assert!(decode_netlist(&mut d).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 //! # Ok::<(), socet_gate::GateError>(())
 //! ```
 
+pub mod codec;
 pub mod elaborate;
 pub mod export;
 pub mod netlist;

@@ -180,11 +180,11 @@ impl Error for GateError {}
 /// assumption that HSCAN justifies.
 #[derive(Debug, Clone)]
 pub struct GateNetlist {
-    name: String,
-    gates: Vec<Gate>,
-    inputs: Vec<(String, SignalId)>,
-    outputs: Vec<(String, SignalId)>,
-    topo: Vec<SignalId>,
+    pub(crate) name: String,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<(String, SignalId)>,
+    pub(crate) outputs: Vec<(String, SignalId)>,
+    pub(crate) topo: Vec<SignalId>,
 }
 
 impl GateNetlist {

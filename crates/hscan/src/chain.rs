@@ -94,10 +94,10 @@ impl fmt::Display for ScanChain {
 /// The result of HSCAN insertion on one core.
 #[derive(Debug, Clone)]
 pub struct HscanResult {
-    chains: Vec<ScanChain>,
-    area: AreaReport,
-    scan_connections: HashSet<ConnectionId>,
-    max_depth: usize,
+    pub(crate) chains: Vec<ScanChain>,
+    pub(crate) area: AreaReport,
+    pub(crate) scan_connections: HashSet<ConnectionId>,
+    pub(crate) max_depth: usize,
 }
 
 impl HscanResult {

@@ -1,0 +1,193 @@
+//! Binary codec for [`HscanResult`] — the scan-structure slice of a
+//! prepared-core artifact.
+//!
+//! The only subtlety is `scan_connections`: it lives in a `HashSet`, whose
+//! iteration order is nondeterministic, so it is encoded *sorted by index*.
+//! That keeps the encoded bytes a pure function of the value — the property
+//! the pipeline's byte-for-byte determinism tests rely on.
+
+use crate::chain::{ChainLink, ChainVia, HscanResult, ScanChain};
+use socet_cells::{decode_area_report, encode_area_report, CodecError, Dec, Enc};
+use socet_rtl::{ConnectionId, PortId, RegisterId};
+use std::collections::HashSet;
+
+fn put_via(via: &ChainVia, e: &mut Enc) {
+    match via {
+        ChainVia::ExistingMux { connection, leg } => {
+            e.put_u8(0);
+            e.put_u32(connection.index() as u32);
+            e.put_u8(*leg);
+        }
+        ChainVia::ExistingDirect { connection } => {
+            e.put_u8(1);
+            e.put_u32(connection.index() as u32);
+        }
+        ChainVia::TestMux => e.put_u8(2),
+    }
+}
+
+fn get_via(d: &mut Dec) -> Result<ChainVia, CodecError> {
+    Ok(match d.get_u8()? {
+        0 => ChainVia::ExistingMux {
+            connection: ConnectionId::from_index(d.get_u32()? as usize),
+            leg: d.get_u8()?,
+        },
+        1 => ChainVia::ExistingDirect {
+            connection: ConnectionId::from_index(d.get_u32()? as usize),
+        },
+        2 => ChainVia::TestMux,
+        _ => return Err(CodecError::Corrupt("chain via tag out of range")),
+    })
+}
+
+fn put_chain(chain: &ScanChain, e: &mut Enc) {
+    e.put_u32(chain.scan_in.index() as u32);
+    match chain.fork_parent {
+        Some(r) => {
+            e.put_bool(true);
+            e.put_u32(r.index() as u32);
+        }
+        None => e.put_bool(false),
+    }
+    put_via(&chain.head_via, e);
+    e.put_usize(chain.links.len());
+    for link in &chain.links {
+        e.put_u32(link.reg.index() as u32);
+        put_via(&link.via, e);
+    }
+    e.put_u32(chain.scan_out.index() as u32);
+    put_via(&chain.tail_via, e);
+}
+
+fn get_chain(d: &mut Dec) -> Result<ScanChain, CodecError> {
+    let scan_in = PortId::from_index(d.get_u32()? as usize);
+    let fork_parent = if d.get_bool()? {
+        Some(RegisterId::from_index(d.get_u32()? as usize))
+    } else {
+        None
+    };
+    let head_via = get_via(d)?;
+    let link_count = d.get_usize()?;
+    let mut links = Vec::with_capacity(link_count.min(1 << 20));
+    for _ in 0..link_count {
+        let reg = RegisterId::from_index(d.get_u32()? as usize);
+        links.push(ChainLink {
+            reg,
+            via: get_via(d)?,
+        });
+    }
+    let scan_out = PortId::from_index(d.get_u32()? as usize);
+    let tail_via = get_via(d)?;
+    Ok(ScanChain {
+        scan_in,
+        fork_parent,
+        head_via,
+        links,
+        scan_out,
+        tail_via,
+    })
+}
+
+/// Encodes `hscan` into `e`.
+pub fn encode_hscan(hscan: &HscanResult, e: &mut Enc) {
+    e.put_usize(hscan.chains.len());
+    for chain in &hscan.chains {
+        put_chain(chain, e);
+    }
+    encode_area_report(&hscan.area, e);
+    let mut claimed: Vec<usize> = hscan.scan_connections.iter().map(|c| c.index()).collect();
+    claimed.sort_unstable();
+    e.put_usize(claimed.len());
+    for i in claimed {
+        e.put_u32(i as u32);
+    }
+    e.put_usize(hscan.max_depth);
+}
+
+/// Decodes a result written by [`encode_hscan`].
+pub fn decode_hscan(d: &mut Dec) -> Result<HscanResult, CodecError> {
+    let chain_count = d.get_usize()?;
+    let mut chains = Vec::with_capacity(chain_count.min(1 << 16));
+    for _ in 0..chain_count {
+        chains.push(get_chain(d)?);
+    }
+    let area = decode_area_report(d)?;
+    let claimed_count = d.get_usize()?;
+    let mut scan_connections = HashSet::with_capacity(claimed_count.min(1 << 20));
+    for _ in 0..claimed_count {
+        scan_connections.insert(ConnectionId::from_index(d.get_u32()? as usize));
+    }
+    let max_depth = d.get_usize()?;
+    Ok(HscanResult {
+        chains,
+        area,
+        scan_connections,
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::insert_hscan;
+    use socet_cells::DftCosts;
+    use socet_rtl::{Core, CoreBuilder, Direction, RegisterId, RtlNode};
+
+    fn forked_core() -> Core {
+        let mut b = CoreBuilder::new("fork");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let o2 = b.port("o2", Direction::Out, 8).unwrap();
+        let r_main = b.register("r_main", 8).unwrap();
+        let r_next = b.register("r_next", 8).unwrap();
+        let r_side = b.register("r_side", 8).unwrap();
+        b.connect_port_to_reg(i, r_main).unwrap();
+        b.connect_reg_to_reg(r_main, r_next).unwrap();
+        b.connect_mux(RtlNode::Reg(r_main), RtlNode::Reg(r_side), 0)
+            .unwrap();
+        b.connect_reg_to_port(r_next, o).unwrap();
+        b.connect_reg_to_port(r_side, o2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn encode(h: &HscanResult) -> Vec<u8> {
+        let mut e = Enc::new();
+        encode_hscan(h, &mut e);
+        e.into_bytes()
+    }
+
+    #[test]
+    fn hscan_round_trips_exactly() {
+        let h = insert_hscan(&forked_core(), &DftCosts::default());
+        let bytes = encode(&h);
+        let mut d = Dec::new(&bytes);
+        let back = decode_hscan(&mut d).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(back.chains, h.chains);
+        assert_eq!(back.area, h.area);
+        assert_eq!(back.scan_connections, h.scan_connections);
+        assert_eq!(back.max_depth, h.max_depth);
+        // The round trip exercises every ChainVia variant.
+        let fork = back.chains.iter().find(|c| c.fork_parent.is_some());
+        assert_eq!(fork.unwrap().fork_parent, Some(RegisterId::from_index(0)));
+    }
+
+    #[test]
+    fn encoding_is_deterministic_despite_hashset() {
+        // Re-running HSCAN builds the HashSet afresh (different insertion
+        // and iteration order is possible); the sorted encoding must not
+        // care.
+        let a = encode(&insert_hscan(&forked_core(), &DftCosts::default()));
+        let b = encode(&insert_hscan(&forked_core(), &DftCosts::default()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode(&insert_hscan(&forked_core(), &DftCosts::default()));
+        for cut in [0, 1, bytes.len() / 3, bytes.len() - 1] {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(decode_hscan(&mut d).is_err());
+        }
+    }
+}

@@ -44,8 +44,10 @@
 //! ```
 
 pub mod chain;
+pub mod codec;
 
 pub use chain::{insert_hscan, ChainLink, ChainVia, HscanResult, ScanChain};
+pub use codec::{decode_hscan, encode_hscan};
 
 #[cfg(test)]
 mod tests {

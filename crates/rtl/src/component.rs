@@ -18,6 +18,13 @@ impl RegisterId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a handle from a dense index, the inverse of
+    /// [`RegisterId::index`]. The caller must keep the index within the
+    /// owning core's register count (used by the artifact codecs).
+    pub fn from_index(i: usize) -> RegisterId {
+        RegisterId(i as u32)
+    }
 }
 
 impl fmt::Display for RegisterId {

@@ -1,0 +1,234 @@
+//! Structural content hashing of a [`Core`].
+//!
+//! The preparation pipeline keys its per-core artifact memo and on-disk
+//! cache on a [`Fingerprint`] of the *inputs* of the core-level flow: the
+//! full RTL structure plus the DFT cost knobs and ATPG configuration the
+//! caller supplies. Two `Core` values hash equal iff they would drive the
+//! deterministic flow (HSCAN, version synthesis, elaboration, test
+//! generation) to identical outputs — every name, width, direction, signal
+//! class, bit slice and connection realization participates, in declaration
+//! order. Name participation is deliberate: elaboration derives gate-level
+//! signal names from RTL names, so two structurally isomorphic cores with
+//! different names produce different (if same-sized) netlists.
+
+use crate::bits::BitRange;
+use crate::component::FuKind;
+use crate::connection::{Endpoint, RtlNode, Via};
+use crate::core::Core;
+use crate::port::{Direction, SignalClass};
+use socet_cells::{Fingerprint, StableHasher};
+
+fn hash_range(r: BitRange, h: &mut StableHasher) {
+    h.write_u16(r.lsb());
+    h.write_u16(r.msb());
+}
+
+fn hash_node(n: RtlNode, h: &mut StableHasher) {
+    match n {
+        RtlNode::Port(p) => {
+            h.write_u8(0);
+            h.write_usize(p.index());
+        }
+        RtlNode::Reg(r) => {
+            h.write_u8(1);
+            h.write_usize(r.index());
+        }
+        RtlNode::Fu(u) => {
+            h.write_u8(2);
+            h.write_usize(u.index());
+        }
+    }
+}
+
+fn hash_endpoint(e: &Endpoint, h: &mut StableHasher) {
+    hash_node(e.node, h);
+    hash_range(e.range, h);
+}
+
+fn hash_via(v: Via, h: &mut StableHasher) {
+    match v {
+        Via::Direct => h.write_u8(0),
+        Via::MuxPath { leg } => {
+            h.write_u8(1);
+            h.write_u8(leg);
+        }
+        Via::Bus => h.write_u8(2),
+        Via::ThroughFu(u) => {
+            h.write_u8(3);
+            h.write_usize(u.index());
+        }
+    }
+}
+
+fn hash_fu_kind(k: FuKind, h: &mut StableHasher) {
+    match k {
+        FuKind::Add => h.write_u8(0),
+        FuKind::Sub => h.write_u8(1),
+        FuKind::Inc => h.write_u8(2),
+        FuKind::Cmp => h.write_u8(3),
+        FuKind::Logic => h.write_u8(4),
+        FuKind::Shift => h.write_u8(5),
+        FuKind::Alu => h.write_u8(6),
+        FuKind::Random { gates } => {
+            h.write_u8(7);
+            h.write_u32(gates);
+        }
+    }
+}
+
+impl Core {
+    /// Feeds the core's entire structure into `h`.
+    ///
+    /// Cores compare equal under [`PartialEq`] iff they feed identical byte
+    /// streams, so the fingerprint is a faithful (collision-guarded by the
+    /// caller) stand-in for structural equality.
+    pub fn fingerprint_into(&self, h: &mut StableHasher) {
+        h.write_str("Core");
+        h.write_str(self.name());
+        h.write_usize(self.ports().len());
+        for p in self.ports() {
+            h.write_str(p.name());
+            h.write_u8(match p.direction() {
+                Direction::In => 0,
+                Direction::Out => 1,
+            });
+            h.write_u16(p.width());
+            h.write_u8(match p.class() {
+                SignalClass::Data => 0,
+                SignalClass::Control => 1,
+            });
+        }
+        h.write_usize(self.registers().len());
+        for r in self.registers() {
+            h.write_str(r.name());
+            h.write_u16(r.width());
+        }
+        h.write_usize(self.functional_units().len());
+        for u in self.functional_units() {
+            h.write_str(u.name());
+            hash_fu_kind(u.kind(), h);
+            h.write_u16(u.width());
+        }
+        h.write_usize(self.connections().len());
+        for c in self.connections() {
+            hash_endpoint(&c.src, h);
+            hash_endpoint(&c.dst, h);
+            hash_via(c.via, h);
+        }
+    }
+
+    /// The core's structural fingerprint on a fresh hasher.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socet_rtl::{CoreBuilder, Direction};
+    /// let build = |name: &str, width: u16| {
+    ///     let mut b = CoreBuilder::new(name);
+    ///     let i = b.port("i", Direction::In, width)?;
+    ///     let o = b.port("o", Direction::Out, width)?;
+    ///     let r = b.register("r", width)?;
+    ///     b.connect_port_to_reg(i, r)?;
+    ///     b.connect_reg_to_port(r, o)?;
+    ///     b.build()
+    /// };
+    /// let a = build("buf", 8)?;
+    /// assert_eq!(a.fingerprint(), build("buf", 8)?.fingerprint());
+    /// assert_ne!(a.fingerprint(), build("buf", 9)?.fingerprint());
+    /// assert_ne!(a.fingerprint(), build("fub", 8)?.fingerprint());
+    /// # Ok::<(), socet_rtl::RtlError>(())
+    /// ```
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::core::CoreBuilder;
+    use crate::port::Direction;
+    use crate::{BitRange, FuKind, RtlNode, Via};
+
+    #[test]
+    fn identical_builds_share_a_fingerprint() {
+        let build = || {
+            let mut b = CoreBuilder::new("c");
+            let i = b.port("i", Direction::In, 8).unwrap();
+            let o = b.port("o", Direction::Out, 8).unwrap();
+            let r = b.register("r", 8).unwrap();
+            let fu = b.functional_unit("alu", FuKind::Alu, 8).unwrap();
+            b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r), 0).unwrap();
+            b.connect_reg_to_fu(r, fu).unwrap();
+            b.connect_mux(RtlNode::Fu(fu), RtlNode::Reg(r), 1).unwrap();
+            b.connect_reg_to_port(r, o).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(build().fingerprint(), build().fingerprint());
+    }
+
+    #[test]
+    fn every_structural_detail_participates() {
+        // Baseline core.
+        let base = || {
+            let mut b = CoreBuilder::new("c");
+            let i = b.port("i", Direction::In, 8).unwrap();
+            let o = b.port("o", Direction::Out, 8).unwrap();
+            let r = b.register("r", 8).unwrap();
+            (b, i, o, r)
+        };
+        let plain = {
+            let (mut b, i, o, r) = base();
+            b.connect_port_to_reg(i, r).unwrap();
+            b.connect_reg_to_port(r, o).unwrap();
+            b.build().unwrap()
+        };
+        // Same shape but the input feeds through a mux leg instead.
+        let muxed = {
+            let (mut b, i, o, r) = base();
+            b.connect_mux(RtlNode::Port(i), RtlNode::Reg(r), 0).unwrap();
+            b.connect_reg_to_port(r, o).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(plain.fingerprint(), muxed.fingerprint());
+        // Same shape but only the low nibble is wired.
+        let sliced = {
+            let (mut b, i, o, r) = base();
+            b.connect_slice(
+                RtlNode::Port(i),
+                BitRange::new(0, 3),
+                RtlNode::Reg(r),
+                BitRange::new(0, 3),
+            )
+            .unwrap();
+            b.connect_via(
+                RtlNode::Port(i),
+                BitRange::new(4, 7),
+                RtlNode::Reg(r),
+                BitRange::new(4, 7),
+                Via::Bus,
+            )
+            .unwrap();
+            b.connect_reg_to_port(r, o).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(plain.fingerprint(), sliced.fingerprint());
+    }
+
+    #[test]
+    fn register_rename_changes_the_fingerprint() {
+        let build = |reg: &str| {
+            let mut b = CoreBuilder::new("c");
+            let i = b.port("i", Direction::In, 8).unwrap();
+            let o = b.port("o", Direction::Out, 8).unwrap();
+            let r = b.register(reg, 8).unwrap();
+            b.connect_port_to_reg(i, r).unwrap();
+            b.connect_reg_to_port(r, o).unwrap();
+            b.build().unwrap()
+        };
+        // Elaboration derives signal names from register names, so the
+        // flow's outputs differ and the fingerprints must too.
+        assert_ne!(build("acc").fingerprint(), build("mar").fingerprint());
+    }
+}

@@ -40,6 +40,7 @@ pub mod connection;
 pub mod core;
 pub mod error;
 pub mod export;
+pub mod fingerprint;
 pub mod port;
 pub mod soc;
 pub mod stats;

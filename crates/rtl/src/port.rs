@@ -13,6 +13,13 @@ impl PortId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a handle from a dense index, the inverse of
+    /// [`PortId::index`]. The caller must keep the index within the owning
+    /// core's port count (used by the artifact codecs).
+    pub fn from_index(i: usize) -> PortId {
+        PortId(i as u32)
+    }
 }
 
 impl fmt::Display for PortId {

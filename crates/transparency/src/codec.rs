@@ -1,0 +1,163 @@
+//! Binary codec for the core-version ladder — the transparency slice of a
+//! prepared-core artifact.
+//!
+//! Versions are encoded in ladder order with their paths verbatim,
+//! including RCG edge occupancy lists: the chip-level scheduler serializes
+//! transfers that share edges, so a decoded ladder must preserve
+//! [`TransparencyPath::shares_edges`] exactly.
+
+use crate::rcg::EdgeId;
+use crate::version::{CoreVersion, TransparencyPath};
+use socet_cells::{decode_area_report, encode_area_report, CodecError, Dec, Enc};
+use socet_rtl::PortId;
+
+fn put_ports(ports: &[PortId], e: &mut Enc) {
+    e.put_usize(ports.len());
+    for p in ports {
+        e.put_u32(p.index() as u32);
+    }
+}
+
+fn get_ports(d: &mut Dec) -> Result<Vec<PortId>, CodecError> {
+    let n = d.get_usize()?;
+    let mut v = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        v.push(PortId::from_index(d.get_u32()? as usize));
+    }
+    Ok(v)
+}
+
+fn put_path(path: &TransparencyPath, e: &mut Enc) {
+    put_ports(&path.inputs, e);
+    put_ports(&path.outputs, e);
+    e.put_u32(path.latency);
+    e.put_usize(path.edges.len());
+    for edge in &path.edges {
+        e.put_u32(edge.index() as u32);
+    }
+}
+
+fn get_path(d: &mut Dec) -> Result<TransparencyPath, CodecError> {
+    let inputs = get_ports(d)?;
+    let outputs = get_ports(d)?;
+    let latency = d.get_u32()?;
+    let edge_count = d.get_usize()?;
+    let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
+    for _ in 0..edge_count {
+        edges.push(EdgeId(d.get_u32()?));
+    }
+    Ok(TransparencyPath {
+        inputs,
+        outputs,
+        latency,
+        edges,
+    })
+}
+
+/// Encodes the version ladder into `e`.
+pub fn encode_versions(versions: &[CoreVersion], e: &mut Enc) {
+    e.put_usize(versions.len());
+    for v in versions {
+        e.put_str(&v.name);
+        e.put_u8(v.level);
+        e.put_usize(v.paths.len());
+        for p in &v.paths {
+            put_path(p, e);
+        }
+        encode_area_report(&v.overhead, e);
+    }
+}
+
+/// Decodes a ladder written by [`encode_versions`].
+pub fn decode_versions(d: &mut Dec) -> Result<Vec<CoreVersion>, CodecError> {
+    let count = d.get_usize()?;
+    if count > 16 {
+        return Err(CodecError::Corrupt("implausible version-ladder length"));
+    }
+    let mut versions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = d.get_str()?;
+        let level = d.get_u8()?;
+        let path_count = d.get_usize()?;
+        let mut paths = Vec::with_capacity(path_count.min(1 << 16));
+        for _ in 0..path_count {
+            paths.push(get_path(d)?);
+        }
+        let overhead = decode_area_report(d)?;
+        versions.push(CoreVersion {
+            name,
+            level,
+            paths,
+            overhead,
+        });
+    }
+    Ok(versions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::synthesize_versions;
+    use socet_cells::DftCosts;
+    use socet_hscan::insert_hscan;
+    use socet_rtl::{Core, CoreBuilder, Direction};
+
+    fn pipeline() -> Core {
+        let mut b = CoreBuilder::new("pipe");
+        let i = b.port("i", Direction::In, 8).unwrap();
+        let o = b.port("o", Direction::Out, 8).unwrap();
+        let r1 = b.register("r1", 8).unwrap();
+        let r2 = b.register("r2", 8).unwrap();
+        b.connect_port_to_reg(i, r1).unwrap();
+        b.connect_reg_to_reg(r1, r2).unwrap();
+        b.connect_reg_to_port(r2, o).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ladder() -> Vec<CoreVersion> {
+        let core = pipeline();
+        let costs = DftCosts::default();
+        let hscan = insert_hscan(&core, &costs);
+        synthesize_versions(&core, &hscan, &costs)
+    }
+
+    fn encode(versions: &[CoreVersion]) -> Vec<u8> {
+        let mut e = Enc::new();
+        encode_versions(versions, &mut e);
+        e.into_bytes()
+    }
+
+    #[test]
+    fn ladder_round_trips_exactly() {
+        let versions = ladder();
+        let bytes = encode(&versions);
+        let mut d = Dec::new(&bytes);
+        let back = decode_versions(&mut d).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(back.len(), versions.len());
+        for (a, b) in versions.iter().zip(&back) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.level(), b.level());
+            assert_eq!(a.paths(), b.paths());
+            assert_eq!(a.overhead(), b.overhead());
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode(&ladder()), encode(&ladder()));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_errors() {
+        let bytes = encode(&ladder());
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(decode_versions(&mut d).is_err());
+        }
+        let mut huge = bytes.clone();
+        huge[0] = 0xff; // ladder length 255: implausible
+        let mut d = Dec::new(&huge);
+        assert!(decode_versions(&mut d).is_err());
+    }
+}

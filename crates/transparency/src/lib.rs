@@ -36,10 +36,12 @@
 //! # Ok::<(), socet_rtl::RtlError>(())
 //! ```
 
+pub mod codec;
 pub mod rcg;
 pub mod search;
 pub mod version;
 
+pub use codec::{decode_versions, encode_versions};
 pub use rcg::{EdgeId, Rcg, RcgEdge, RcgEdgeKind, RcgNode};
 pub use search::{backward_search, forward_search, PathFound, SearchError};
 pub use version::{synthesize_versions, try_synthesize_versions, CoreVersion, TransparencyPath};

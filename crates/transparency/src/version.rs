@@ -88,10 +88,10 @@ impl ChargeItem {
 /// they cost beyond HSCAN.
 #[derive(Debug, Clone)]
 pub struct CoreVersion {
-    name: String,
-    level: u8,
-    paths: Vec<TransparencyPath>,
-    overhead: AreaReport,
+    pub(crate) name: String,
+    pub(crate) level: u8,
+    pub(crate) paths: Vec<TransparencyPath>,
+    pub(crate) overhead: AreaReport,
 }
 
 impl CoreVersion {

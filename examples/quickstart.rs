@@ -10,7 +10,7 @@
 use socet::atpg::TpgConfig;
 use socet::cells::{CellLibrary, DftCosts};
 use socet::core::{Explorer, Objective};
-use socet::flow::prepare_soc;
+use socet::flow::{prepare_soc_with, PrepareOptions};
 use socet::rtl::{CoreBuilder, Direction, SocBuilder};
 use std::error::Error;
 use std::sync::Arc;
@@ -41,11 +41,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     sb.connect_core_to_pin(u1, dout, po)?;
     let soc = sb.build()?;
 
-    // Core-level flow: HSCAN + transparency versions + ATPG.
+    // Core-level flow: HSCAN + transparency versions + ATPG. Both stages
+    // share one `Arc<Core>`, so the pipeline prepares the filter once and
+    // reuses the artifact for the second instance.
     let costs = DftCosts::default();
-    let prepared = prepare_soc(&soc, &costs, &TpgConfig::default())?;
+    let (prepared, stats) = prepare_soc_with(
+        &soc,
+        &costs,
+        &TpgConfig::default(),
+        &PrepareOptions::default(),
+    )?;
     let lib = CellLibrary::generic_08um();
     println!("chip `{}`:", soc.name());
+    println!(
+        "  preparation       : {} instances, {} unique cores, {} memo hits",
+        stats.instances, stats.unique_cores, stats.memo_hits
+    );
     println!(
         "  original area     : {} cells",
         prepared.original_area_cells(&lib)

@@ -7,13 +7,18 @@
 //! soctool dot-rcg <system> <core>      Graphviz of a core's RCG
 //! soctool dot-ccg <system> [choice]    Graphviz of the chip's CCG (Fig. 9)
 //! soctool atpg <system>                per-core combinational ATPG run
+//! soctool prepare <system>             content-addressed preparation pipeline
 //! soctool bist <system>                memory BIST plans
 //! ```
 //!
 //! `report` and `sweep` accept `--stats` to print the evaluation engine's
 //! counters (CCG builds vs. incremental patches, Dijkstra relaxations,
 //! route-cache hits, stage wall-times); `atpg --stats` prints the fault
-//! simulator's counters (cone pruning, fault dropping, parallel shards).
+//! simulator's counters (cone pruning, fault dropping, parallel shards);
+//! `prepare --stats` prints the preparation pipeline's counters (memo and
+//! disk-cache hits, stage wall-times). `prepare` also accepts
+//! `--cache-dir PATH` (on-disk artifact store) and `--workers N`
+//! (`0` = auto).
 //!
 //! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
 //! for an n-core generated SOC.
@@ -37,9 +42,10 @@ fn usage() -> ExitCode {
            dot-rcg <system> <core-name>\n\
            dot-ccg <system> [choice]\n\
            atpg    <system> [--stats]\n\
+           prepare <system> [--stats] [--cache-dir PATH] [--workers N]\n\
            bist    <system>\n\
          systems: system1 | system2 | synthetic:<cores>\n\
-         --stats: print engine counters (evaluation or ATPG)"
+         --stats: print engine counters (evaluation, ATPG or preparation)"
     );
     ExitCode::from(2)
 }
@@ -89,6 +95,17 @@ fn parse_choice(soc: &Soc, arg: Option<&str>) -> Option<Vec<usize>> {
     }
 }
 
+/// Removes `--flag VALUE` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats = {
@@ -96,6 +113,8 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--stats");
         args.len() != before
     };
+    let cache_dir = take_flag_value(&mut args, "--cache-dir").map(std::path::PathBuf::from);
+    let workers = take_flag_value(&mut args, "--workers").and_then(|w| w.parse::<usize>().ok());
     let Some(cmd) = args.first().map(String::as_str) else {
         return usage();
     };
@@ -225,6 +244,41 @@ fn main() -> ExitCode {
                 let mut m = socet::core::Metrics::new();
                 m.merge_atpg(&prepared.atpg_stats());
                 println!("\n{}", m.atpg);
+            }
+        }
+        "prepare" => {
+            let opts = socet::flow::PrepareOptions {
+                workers: workers.unwrap_or(0),
+                cache_dir,
+            };
+            let tpg = socet::atpg::TpgConfig::default();
+            let (prepared, m) = match socet::flow::prepare_soc_with(&soc, &costs, &tpg, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot prepare {}: {e}", soc.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{:<14} {:>8} {:>8} {:>8} {:>8}",
+                "core", "gates", "FFs", "vectors", "FC%"
+            );
+            for (inst, i) in soc.cores().iter().zip(0..) {
+                match (&prepared.netlists[i], &prepared.tests[i]) {
+                    (Some(nl), Some(t)) => println!(
+                        "{:<14} {:>8} {:>8} {:>8} {:>8.2}",
+                        inst.name(),
+                        nl.gates().len(),
+                        nl.flip_flop_count(),
+                        t.vector_count(),
+                        t.coverage.fault_coverage()
+                    ),
+                    _ => println!("{:<14} {:>8}", inst.name(), "memory"),
+                }
+            }
+            println!("\naggregate: {}", prepared.aggregate_coverage());
+            if stats {
+                println!("\n{m}");
             }
         }
         "bist" => {

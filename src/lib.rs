@@ -37,7 +37,7 @@
 //! let explorer = Explorer::new(&soc, &prepared.data, costs);
 //! let plan = explorer.optimize(Objective::MinTatUnderArea { max_overhead_cells: 10_000 });
 //! assert!(plan.test_application_time() > 0);
-//! # Ok::<(), socet::gate::GateError>(())
+//! # Ok::<(), socet::flow::PrepareError>(())
 //! ```
 
 pub use socet_atpg as atpg;
