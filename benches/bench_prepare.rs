@@ -51,10 +51,7 @@ fn bench_prepare(c: &mut Criterion) {
 
     let cache = std::env::temp_dir().join(format!("socet-bench-prepare-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache);
-    let warm_opts = PrepareOptions {
-        workers: 1,
-        cache_dir: Some(cache.clone()),
-    };
+    let warm_opts = PrepareOptions::new().workers(1).cache_dir(cache.clone());
     // Populate the store once so the "warm" case measures pure cache reads.
     prepare_soc_with(&system2, &costs, &tpg, &warm_opts).expect("system2 prepares");
 
@@ -79,6 +76,19 @@ fn bench_prepare(c: &mut Criterion) {
         b.iter(|| {
             prepare_soc_with(&quad, &costs, &tpg, &PrepareOptions::default())
                 .expect("quad prepares")
+        })
+    });
+    // The observability acceptance bar: full trace capture must sit within
+    // noise of the untraced run (the recorded path above), and the
+    // recording-disabled TLS fast path costs one branch per call site.
+    group.bench_function("traced/system2", |b| {
+        b.iter(|| {
+            let shared = socet::obs::SharedRecorder::new();
+            let opts = PrepareOptions::new().recorder(shared.clone());
+            let out = prepare_soc_with(&system2, &costs, &tpg, &opts).expect("system2 prepares");
+            let rec = shared.take();
+            assert!(rec.span_count(socet::obs::names::PREPARE_CORE) > 0);
+            out
         })
     });
     group.finish();

@@ -23,6 +23,7 @@
 use crate::fault::Fault;
 use crate::metrics::AtpgMetrics;
 use socet_gate::{GateKind, GateNetlist, PackedSim, SignalId};
+use socet_obs::names;
 
 /// Minimum live faults in a block before the engine fans out over threads;
 /// below this the spawn cost outweighs the work.
@@ -276,29 +277,37 @@ impl<'a> FaultSim<'a> {
             .min(live.len().div_ceil(MIN_PARALLEL_FAULTS / 2));
         if workers > 1 && live.len() >= MIN_PARALLEL_FAULTS {
             let chunk = live.len().div_ceil(workers);
-            let shards: Vec<(Vec<(u32, u64)>, AtpgMetrics)> = std::thread::scope(|s| {
+            type Shard = (Vec<(u32, u64)>, AtpgMetrics, socet_obs::Recorder);
+            let shards: Vec<Shard> = std::thread::scope(|s| {
                 let handles: Vec<_> = live
                     .chunks(chunk)
                     .map(|part| {
+                        // Forked on the parent thread so the worker's
+                        // spans land on the caller's timeline (disabled
+                        // — and free — when nothing is installed).
+                        let mut rec = socet_obs::fork_local();
                         s.spawn(move || {
-                            let mut scratch = ConeScratch::new(nl.gates().len());
                             let mut m = AtpgMetrics::new();
-                            let out: Vec<(u32, u64)> = part
-                                .iter()
-                                .map(|&fi| {
-                                    let mask = fault_mask(
-                                        nl,
-                                        cones,
-                                        good,
-                                        &mut scratch,
-                                        faults[fi as usize],
-                                        used,
-                                        &mut m,
-                                    );
-                                    (fi, mask)
-                                })
-                                .collect();
-                            (out, m)
+                            let out: Vec<(u32, u64)> = {
+                                let _sink = rec.install();
+                                let _span = socet_obs::span(names::FSIM_SHARD);
+                                let mut scratch = ConeScratch::new(nl.gates().len());
+                                part.iter()
+                                    .map(|&fi| {
+                                        let mask = fault_mask(
+                                            nl,
+                                            cones,
+                                            good,
+                                            &mut scratch,
+                                            faults[fi as usize],
+                                            used,
+                                            &mut m,
+                                        );
+                                        (fi, mask)
+                                    })
+                                    .collect()
+                            };
+                            (out, m, rec)
                         })
                     })
                     .collect();
@@ -308,14 +317,18 @@ impl<'a> FaultSim<'a> {
                     .collect()
             });
             // Deterministic merge: shards are disjoint index sets, walked
-            // in spawn order.
-            for (out, m) in &shards {
-                for &(fi, mask) in out {
+            // in spawn order; shard recorders fold into the caller's sink
+            // in the same order. Counters stay in `AtpgMetrics` (published
+            // once per run by the driver) so the trace never double-counts.
+            let count = shards.len() as u64;
+            for (out, m, rec) in shards {
+                for &(fi, mask) in &out {
                     masks[fi as usize] = mask;
                 }
-                self.metrics.merge(m);
+                self.metrics.merge(&m);
+                socet_obs::adopt([rec]);
             }
-            self.metrics.parallel_shards += shards.len() as u64;
+            self.metrics.parallel_shards += count;
         } else {
             let scratch = &mut self.scratch;
             let metrics = &mut self.metrics;

@@ -9,6 +9,7 @@
 //! dropped faults. `soctool atpg --stats` and `table3_testability` fold
 //! these counters into `socet-core`'s `Metrics` for display.
 
+use socet_obs::{Counter, Recorder};
 use std::fmt;
 
 /// Counters accumulated by [`FaultSim`](crate::FaultSim),
@@ -59,6 +60,53 @@ impl AtpgMetrics {
         self.faults_dropped_podem += other.faults_dropped_podem;
         self.fill_mask_events += other.fill_mask_events;
         self.parallel_shards += other.parallel_shards;
+    }
+
+    /// The view of one recorder's ATPG counters — the derivation the
+    /// unified observability layer replaces ad-hoc merging with.
+    pub fn from_recorder(rec: &Recorder) -> Self {
+        AtpgMetrics {
+            blocks_simulated: rec.counter(Counter::BlocksSimulated),
+            cone_gate_evals: rec.counter(Counter::ConeGateEvals),
+            full_gate_evals_equiv: rec.counter(Counter::FullGateEvalsEquiv),
+            faults_skipped_unobservable: rec.counter(Counter::FaultsSkippedUnobservable),
+            faults_dropped_random: rec.counter(Counter::FaultsDroppedRandom),
+            faults_dropped_podem: rec.counter(Counter::FaultsDroppedPodem),
+            fill_mask_events: rec.counter(Counter::FillMaskEvents),
+            parallel_shards: rec.counter(Counter::ParallelShards),
+        }
+    }
+
+    /// Charges these counters into `rec` (the inverse of
+    /// [`AtpgMetrics::from_recorder`]).
+    pub fn record_into(&self, rec: &mut Recorder) {
+        rec.record(Counter::BlocksSimulated, self.blocks_simulated);
+        rec.record(Counter::ConeGateEvals, self.cone_gate_evals);
+        rec.record(Counter::FullGateEvalsEquiv, self.full_gate_evals_equiv);
+        rec.record(
+            Counter::FaultsSkippedUnobservable,
+            self.faults_skipped_unobservable,
+        );
+        rec.record(Counter::FaultsDroppedRandom, self.faults_dropped_random);
+        rec.record(Counter::FaultsDroppedPodem, self.faults_dropped_podem);
+        rec.record(Counter::FillMaskEvents, self.fill_mask_events);
+        rec.record(Counter::ParallelShards, self.parallel_shards);
+    }
+
+    /// Charges these counters into the thread's installed
+    /// [`socet_obs`] recorder, if any.
+    pub fn publish(&self) {
+        socet_obs::add(Counter::BlocksSimulated, self.blocks_simulated);
+        socet_obs::add(Counter::ConeGateEvals, self.cone_gate_evals);
+        socet_obs::add(Counter::FullGateEvalsEquiv, self.full_gate_evals_equiv);
+        socet_obs::add(
+            Counter::FaultsSkippedUnobservable,
+            self.faults_skipped_unobservable,
+        );
+        socet_obs::add(Counter::FaultsDroppedRandom, self.faults_dropped_random);
+        socet_obs::add(Counter::FaultsDroppedPodem, self.faults_dropped_podem);
+        socet_obs::add(Counter::FillMaskEvents, self.fill_mask_events);
+        socet_obs::add(Counter::ParallelShards, self.parallel_shards);
     }
 
     /// Fraction of the full-netlist work the cone engine actually did, in
@@ -124,6 +172,30 @@ mod tests {
         assert_eq!(a.faults_dropped_podem, 12);
         assert_eq!(a.fill_mask_events, 14);
         assert_eq!(a.parallel_shards, 16);
+    }
+
+    #[test]
+    fn recorder_round_trip_preserves_every_counter() {
+        let m = AtpgMetrics {
+            blocks_simulated: 1,
+            cone_gate_evals: 2,
+            full_gate_evals_equiv: 3,
+            faults_skipped_unobservable: 4,
+            faults_dropped_random: 5,
+            faults_dropped_podem: 6,
+            fill_mask_events: 7,
+            parallel_shards: 8,
+        };
+        let mut rec = Recorder::new();
+        m.record_into(&mut rec);
+        assert_eq!(AtpgMetrics::from_recorder(&rec), m);
+        // publish() reaches the installed thread-local sink.
+        let mut tls = Recorder::new();
+        {
+            let _g = tls.install();
+            m.publish();
+        }
+        assert_eq!(AtpgMetrics::from_recorder(&tls), m);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::fsim::FaultSim;
 use crate::metrics::AtpgMetrics;
 use crate::podem::{Podem, PodemOutcome};
 use socet_gate::{GateNetlist, Tri};
+use socet_obs::names;
 
 /// Configuration of a [`generate_tests`] run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,7 @@ impl TestSet {
 /// # Ok::<(), socet_gate::GateError>(())
 /// ```
 pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
+    let _run = socet_obs::span(names::ATPG);
     let faults = fault_list(nl);
     let mut sim = FaultSim::new(nl);
     let width = sim.pattern_width();
@@ -87,40 +89,44 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
     let mut fill_mask_events = 0u64;
 
     // Phase 1: random patterns (kept only if they detect something new).
-    let mut batch: Vec<Vec<bool>> = Vec::new();
-    for _ in 0..config.random_patterns {
-        batch.push((0..width).map(|_| rng.bit()).collect());
-    }
-    if !batch.is_empty() {
-        let before = count(&detected);
-        sim.accumulate(&faults, &batch, &mut detected);
-        if count(&detected) > before {
-            // Keep only the useful patterns. Per-pattern detection masks
-            // replay the greedy pattern-by-pattern decision over whole
-            // 64-lane blocks instead of simulating one pattern per block.
-            let mut redetected = vec![false; faults.len()];
-            let mut masks = vec![0u64; faults.len()];
-            for block in batch.chunks(64) {
-                sim.detection_masks(&faults, block, &redetected, &mut masks);
-                for (k, pat) in block.iter().enumerate() {
-                    let mut useful = false;
-                    for (fi, m) in masks.iter().enumerate() {
-                        if !redetected[fi] && m >> k & 1 != 0 {
-                            redetected[fi] = true;
-                            useful = true;
+    {
+        let _phase = socet_obs::span(names::ATPG_RANDOM);
+        let mut batch: Vec<Vec<bool>> = Vec::new();
+        for _ in 0..config.random_patterns {
+            batch.push((0..width).map(|_| rng.bit()).collect());
+        }
+        if !batch.is_empty() {
+            let before = count(&detected);
+            sim.accumulate(&faults, &batch, &mut detected);
+            if count(&detected) > before {
+                // Keep only the useful patterns. Per-pattern detection masks
+                // replay the greedy pattern-by-pattern decision over whole
+                // 64-lane blocks instead of simulating one pattern per block.
+                let mut redetected = vec![false; faults.len()];
+                let mut masks = vec![0u64; faults.len()];
+                for block in batch.chunks(64) {
+                    sim.detection_masks(&faults, block, &redetected, &mut masks);
+                    for (k, pat) in block.iter().enumerate() {
+                        let mut useful = false;
+                        for (fi, m) in masks.iter().enumerate() {
+                            if !redetected[fi] && m >> k & 1 != 0 {
+                                redetected[fi] = true;
+                                useful = true;
+                            }
+                        }
+                        if useful {
+                            patterns.push(pat.clone());
                         }
                     }
-                    if useful {
-                        patterns.push(pat.clone());
-                    }
                 }
+                detected = redetected;
             }
-            detected = redetected;
         }
     }
     let dropped_random = count(&detected);
 
     // Phase 2: PODEM top-off with fault dropping.
+    let phase = socet_obs::span(names::ATPG_PODEM);
     let mut podem = Podem::new(nl, config.max_backtracks);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
@@ -157,6 +163,7 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
             PodemOutcome::Aborted => aborted += 1,
         }
     }
+    drop(phase);
 
     let coverage = Coverage {
         total: faults.len(),
@@ -168,6 +175,9 @@ pub fn generate_tests(nl: &GateNetlist, config: &TpgConfig) -> TestSet {
     stats.faults_dropped_random = dropped_random as u64;
     stats.faults_dropped_podem = (coverage.detected - dropped_random) as u64;
     stats.fill_mask_events = fill_mask_events;
+    // One publication per run keeps the installed recorder's counters in
+    // lock-step with `stats` (shard workers above carry spans only).
+    stats.publish();
     TestSet {
         patterns,
         coverage,

@@ -18,6 +18,7 @@ use crate::metrics::Metrics;
 use crate::plan::{CoreTestData, DesignPoint};
 use crate::schedule::Scheduler;
 use socet_cells::{CellLibrary, DftCosts};
+use socet_obs::{names, Recorder};
 use socet_rtl::{CoreInstanceId, Soc};
 use std::collections::HashMap;
 use std::fmt;
@@ -68,7 +69,9 @@ pub struct Explorer<'a> {
     /// The warm evaluation engine: its cached CCG, router scratch and
     /// route cache survive across `evaluate`/`optimize`/`sweep` calls.
     engine: Mutex<Option<Scheduler<'a>>>,
-    metrics: Mutex<Metrics>,
+    /// Explorer-wide recorder: every engine's events (including all sweep
+    /// workers') are folded in, in deterministic order.
+    rec: Mutex<Recorder>,
 }
 
 impl<'a> Explorer<'a> {
@@ -80,7 +83,7 @@ impl<'a> Explorer<'a> {
             costs,
             lib: CellLibrary::generic_08um(),
             engine: Mutex::new(None),
-            metrics: Mutex::new(Metrics::new()),
+            rec: Mutex::new(Recorder::new()),
         }
     }
 
@@ -96,26 +99,36 @@ impl<'a> Explorer<'a> {
     }
 
     /// Runs `f` on the explorer's warm engine (created on first use),
-    /// folding the engine's counters into the explorer-wide metrics.
+    /// folding the engine's recorded events into the explorer-wide
+    /// recorder.
     fn with_engine<R>(&self, f: impl FnOnce(&mut Scheduler<'a>) -> R) -> R {
         let mut guard = self.engine.lock().expect("engine lock");
         let engine = guard.get_or_insert_with(|| self.scheduler());
         let r = f(engine);
-        let m = engine.take_metrics();
+        let rec = engine.take_recorder();
         drop(guard);
-        self.absorb(m);
+        self.absorb(rec);
         r
     }
 
-    /// Folds one engine's counters into the explorer-wide total.
-    fn absorb(&self, m: Metrics) {
-        self.metrics.lock().expect("metrics lock").merge(&m);
+    /// Folds one engine's recorded events into the explorer-wide recorder.
+    fn absorb(&self, rec: Recorder) {
+        self.rec.lock().expect("recorder lock").merge_child(rec);
     }
 
     /// Engine counters aggregated over every evaluation this explorer has
-    /// run (including all sweep workers).
+    /// run (including all sweep workers), as the [`Metrics`] view over the
+    /// explorer-wide recorder.
     pub fn metrics(&self) -> Metrics {
-        self.metrics.lock().expect("metrics lock").clone()
+        Metrics::from_recorder(&self.rec.lock().expect("recorder lock"))
+    }
+
+    /// The explorer-wide recorder — spans and counters of every evaluation
+    /// so far — for trace export; a fresh (empty) one takes its place.
+    pub fn take_recorder(&self) -> Recorder {
+        let mut guard = self.rec.lock().expect("recorder lock");
+        let fresh = guard.fork();
+        std::mem::replace(&mut *guard, fresh)
     }
 
     /// Routes and schedules one version choice.
@@ -175,6 +188,13 @@ impl<'a> Explorer<'a> {
     /// concatenated in spawn order, so the result is identical to the
     /// sequential sweep.
     pub fn try_sweep(&self) -> Result<Vec<DesignPoint>, ScheduleError> {
+        let span = self.rec.lock().expect("recorder lock").begin(names::SWEEP);
+        let result = self.try_sweep_inner();
+        self.rec.lock().expect("recorder lock").end(span);
+        result
+    }
+
+    fn try_sweep_inner(&self) -> Result<Vec<DesignPoint>, ScheduleError> {
         let logic = self.soc.logic_cores();
         let radios: Vec<usize> = logic
             .iter()
@@ -209,7 +229,7 @@ impl<'a> Explorer<'a> {
             });
         }
         let chunk = total.div_ceil(workers);
-        let results: Vec<Result<(Vec<DesignPoint>, Metrics), ScheduleError>> =
+        let results: Vec<Result<(Vec<DesignPoint>, Recorder), ScheduleError>> =
             std::thread::scope(|s| {
                 let choice_of = &choice_of;
                 let handles: Vec<_> = (0..workers)
@@ -222,7 +242,7 @@ impl<'a> Explorer<'a> {
                             for k in lo..hi {
                                 points.push(sched.evaluate(&choice_of(k))?);
                             }
-                            Ok((points, sched.take_metrics()))
+                            Ok((points, sched.take_recorder()))
                         })
                     })
                     .collect();
@@ -231,13 +251,15 @@ impl<'a> Explorer<'a> {
                     .map(|h| h.join().expect("sweep worker panicked"))
                     .collect()
             });
+        // Index-ordered merge: chunks concatenate and recorders fold in
+        // spawn order, so both the points and the trace are deterministic.
         let mut points = Vec::with_capacity(total);
         let mut first_err = None;
         for r in results {
             match r {
-                Ok((p, m)) => {
+                Ok((p, rec)) => {
                     points.extend(p);
-                    self.absorb(m);
+                    self.absorb(rec);
                 }
                 Err(e) => first_err = first_err.or(Some(e)),
             }
@@ -295,8 +317,15 @@ impl<'a> Explorer<'a> {
     /// and over, and a memo hit skips the whole build/route/assemble
     /// pipeline.
     pub fn try_optimize(&self, objective: Objective) -> Result<DesignPoint, ScheduleError> {
+        let span = self
+            .rec
+            .lock()
+            .expect("recorder lock")
+            .begin(names::OPTIMIZE);
         let mut memo: HashMap<Vec<usize>, DesignPoint> = HashMap::new();
-        self.with_engine(|sched| self.optimize_inner(objective, sched, &mut memo))
+        let result = self.with_engine(|sched| self.optimize_inner(objective, sched, &mut memo));
+        self.rec.lock().expect("recorder lock").end(span);
+        result
     }
 
     fn optimize_inner(

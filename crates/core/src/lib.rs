@@ -64,6 +64,12 @@
 //! # Ok::<(), socet_rtl::RtlError>(())
 //! ```
 
+/// The unified observability layer: structured spans, typed counters, a
+/// per-worker [`Recorder`](obs::Recorder), and trace exporters. Every
+/// SOCET crate records through it; the metrics structs in [`metrics`] are
+/// views derived from one recorder.
+pub use socet_obs as obs;
+
 pub mod ccg;
 pub mod controller;
 pub mod error;

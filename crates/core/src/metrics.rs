@@ -10,12 +10,16 @@
 //! [`Explorer`](crate::explore::Explorer) aggregates across evaluations,
 //! and `soctool report --stats` / `fig10_design_space` print it.
 //!
-//! Test-generation work done on behalf of a flow (fault-simulation blocks,
-//! cone pruning, fault dropping) reports through the embedded
-//! [`AtpgMetrics`] block, folded in with [`Metrics::merge_atpg`] and shown
-//! by `soctool atpg --stats` and `table3_testability`.
+//! Since the unified observability layer (`socet_obs`, re-exported as
+//! [`crate::obs`]), these structs are **views**: every stage records typed
+//! counters and spans into a [`Recorder`](socet_obs::Recorder), and
+//! [`Metrics::from_recorder`] / [`PrepareMetrics::from_recorder`] /
+//! [`AtpgMetrics::from_recorder`] derive the familiar shapes from the one
+//! event stream. The ad-hoc merge helpers survive as thin shims (some
+//! deprecated) so downstream code keeps compiling.
 
 use socet_atpg::AtpgMetrics;
+use socet_obs::{names, Counter, Recorder};
 use std::fmt;
 use std::time::Duration;
 
@@ -64,8 +68,35 @@ impl PrepareMetrics {
         PrepareMetrics::default()
     }
 
+    /// The view of one recorder's preparation counters and stage spans:
+    /// counts come from the typed counter slots, stage times from the
+    /// exact per-name span aggregates (`io_time` is store load + store
+    /// write, `total_time` the enclosing `prepare` span).
+    pub fn from_recorder(rec: &Recorder) -> Self {
+        PrepareMetrics {
+            instances: rec.counter(Counter::Instances),
+            unique_cores: rec.counter(Counter::UniqueCores),
+            memo_hits: rec.counter(Counter::MemoHits),
+            disk_hits: rec.counter(Counter::DiskHits),
+            disk_misses: rec.counter(Counter::DiskMisses),
+            disk_writes: rec.counter(Counter::DiskWrites),
+            workers: rec.counter(Counter::Workers),
+            hscan_time: rec.span_total(names::HSCAN),
+            versions_time: rec.span_total(names::VERSIONS),
+            elaborate_time: rec.span_total(names::ELABORATE),
+            atpg_time: rec.span_total(names::ATPG),
+            io_time: rec.span_total(names::STORE_LOAD) + rec.span_total(names::STORE_WRITE),
+            total_time: rec.span_total(names::PREPARE),
+        }
+    }
+
     /// Folds `other` into `self` — used to aggregate across pipeline runs
     /// (counters and times add; `workers` keeps the widest fan-out seen).
+    #[deprecated(
+        since = "0.1.0",
+        note = "aggregate through socet_obs::Recorder::merge_child and derive \
+                the view with PrepareMetrics::from_recorder"
+    )]
     pub fn merge(&mut self, other: &PrepareMetrics) {
         self.instances += other.instances;
         self.unique_cores += other.unique_cores;
@@ -156,6 +187,27 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// The view of one recorder's full event stream: engine counters and
+    /// stage spans, with the embedded ATPG and preparation blocks derived
+    /// from the same recorder.
+    pub fn from_recorder(rec: &Recorder) -> Self {
+        Metrics {
+            evaluations: rec.counter(Counter::Evaluations),
+            ccg_full_builds: rec.counter(Counter::CcgFullBuilds),
+            ccg_incremental_patches: rec.counter(Counter::CcgIncrementalPatches),
+            ccg_edges_rebuilt: rec.counter(Counter::CcgEdgesRebuilt),
+            route_attempts: rec.counter(Counter::RouteAttempts),
+            route_cache_hits: rec.counter(Counter::RouteCacheHits),
+            dijkstra_relaxations: rec.counter(Counter::DijkstraRelaxations),
+            system_mux_fallbacks: rec.counter(Counter::SystemMuxFallbacks),
+            build_time: rec.span_total(names::BUILD),
+            route_time: rec.span_total(names::ROUTE),
+            assemble_time: rec.span_total(names::ASSEMBLE),
+            atpg: AtpgMetrics::from_recorder(rec),
+            prepare: PrepareMetrics::from_recorder(rec),
+        }
+    }
+
     /// Folds `other` into `self` — used to aggregate per-worker metrics
     /// after a parallel sweep.
     pub fn merge(&mut self, other: &Metrics) {
@@ -171,19 +223,46 @@ impl Metrics {
         self.route_time += other.route_time;
         self.assemble_time += other.assemble_time;
         self.atpg.merge(&other.atpg);
-        self.prepare.merge(&other.prepare);
+        self.merge_prepare_fields(&other.prepare);
     }
 
     /// Folds one ATPG run's counters (e.g. a
     /// [`TestSet`](socet_atpg::TestSet)'s `stats`) into this flow's totals.
+    #[deprecated(
+        since = "0.1.0",
+        note = "record through a socet_obs::Recorder (AtpgMetrics::record_into \
+                or AtpgMetrics::publish) and derive with Metrics::from_recorder"
+    )]
     pub fn merge_atpg(&mut self, stats: &AtpgMetrics) {
         self.atpg.merge(stats);
     }
 
     /// Folds one preparation pipeline run's counters into this flow's
     /// totals.
+    #[deprecated(
+        since = "0.1.0",
+        note = "aggregate through socet_obs::Recorder::merge_child and derive \
+                the view with Metrics::from_recorder"
+    )]
     pub fn merge_prepare(&mut self, stats: &PrepareMetrics) {
-        self.prepare.merge(stats);
+        self.merge_prepare_fields(stats);
+    }
+
+    fn merge_prepare_fields(&mut self, stats: &PrepareMetrics) {
+        let p = &mut self.prepare;
+        p.instances += stats.instances;
+        p.unique_cores += stats.unique_cores;
+        p.memo_hits += stats.memo_hits;
+        p.disk_hits += stats.disk_hits;
+        p.disk_misses += stats.disk_misses;
+        p.disk_writes += stats.disk_writes;
+        p.workers = p.workers.max(stats.workers);
+        p.hscan_time += stats.hscan_time;
+        p.versions_time += stats.versions_time;
+        p.elaborate_time += stats.elaborate_time;
+        p.atpg_time += stats.atpg_time;
+        p.io_time += stats.io_time;
+        p.total_time += stats.total_time;
     }
 }
 
@@ -271,6 +350,38 @@ mod tests {
     }
 
     #[test]
+    fn views_derive_from_one_recorder() {
+        let mut rec = Recorder::new();
+        rec.record(Counter::Evaluations, 3);
+        rec.record(Counter::RouteAttempts, 7);
+        rec.record(Counter::Instances, 4);
+        rec.record(Counter::UniqueCores, 2);
+        rec.record(Counter::Workers, 8);
+        rec.record(Counter::BlocksSimulated, 5);
+        let b = rec.begin(names::BUILD);
+        rec.end(b);
+        let h = rec.begin(names::HSCAN);
+        rec.end(h);
+
+        let m = Metrics::from_recorder(&rec);
+        assert_eq!(m.evaluations, 3);
+        assert_eq!(m.route_attempts, 7);
+        assert_eq!(m.build_time, rec.span_total(names::BUILD));
+        // The embedded blocks derive from the same event stream.
+        assert_eq!(m.atpg.blocks_simulated, 5);
+        assert_eq!(m.prepare.instances, 4);
+        assert_eq!(m.prepare.unique_cores, 2);
+        assert_eq!(m.prepare.workers, 8);
+        assert_eq!(m.prepare.hscan_time, rec.span_total(names::HSCAN));
+        assert_eq!(
+            PrepareMetrics::from_recorder(&rec),
+            m.prepare,
+            "both views read the same slots"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn merge_atpg_folds_engine_counters() {
         let mut m = Metrics::new();
         m.merge_atpg(&AtpgMetrics {
@@ -305,6 +416,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn prepare_metrics_merge_and_render() {
         let mut a = PrepareMetrics {
             instances: 4,
@@ -333,6 +445,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn prepare_block_renders_only_when_nonzero() {
         let mut m = Metrics::new();
         assert!(!m.to_string().contains("prepare pipeline stats"));

@@ -23,10 +23,10 @@ use crate::error::ScheduleError;
 use crate::metrics::Metrics;
 use crate::plan::{CoreEpisode, CoreTestData, DesignPoint, SystemMux};
 use socet_cells::{AreaReport, CellKind, DftCosts};
+use socet_obs::{names, Counter, Recorder};
 use socet_rtl::{CoreInstanceId, PortId, Soc};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::time::Instant;
 
 /// A routed path: its arrival time and the transparency pairs it crossed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -350,7 +350,7 @@ pub struct Scheduler<'a> {
     choice: Vec<usize>,
     scratch: Option<RouterScratch>,
     route_cache: HashMap<(CoreInstanceId, Vec<usize>), CoreRouteOutcome>,
-    metrics: Metrics,
+    rec: Recorder,
 }
 
 impl<'a> Scheduler<'a> {
@@ -366,7 +366,7 @@ impl<'a> Scheduler<'a> {
             choice: Vec::new(),
             scratch: None,
             route_cache: HashMap::new(),
-            metrics: Metrics::new(),
+            rec: Recorder::new(),
         }
     }
 
@@ -381,37 +381,58 @@ impl<'a> Scheduler<'a> {
         self
     }
 
-    /// Counters accumulated since construction (or the last
-    /// [`Scheduler::take_metrics`]).
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// The accumulated counters since construction (or the last
+    /// [`Scheduler::take_recorder`]), as the familiar [`Metrics`] view over
+    /// the engine's recorder.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::from_recorder(&self.rec)
+    }
+
+    /// The engine's recorder, for trace export or folding into a parent
+    /// recorder; a fresh (empty) one takes its place.
+    pub fn take_recorder(&mut self) -> Recorder {
+        let fresh = self.rec.fork();
+        std::mem::replace(&mut self.rec, fresh)
     }
 
     /// Returns the accumulated metrics and resets them to zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheduler::take_recorder and derive the view with \
+                Metrics::from_recorder"
+    )]
     pub fn take_metrics(&mut self) -> Metrics {
-        std::mem::take(&mut self.metrics)
+        Metrics::from_recorder(&self.take_recorder())
     }
 
     /// Routes and schedules one version choice: build → route → assemble.
     pub fn evaluate(&mut self, choice: &[usize]) -> Result<DesignPoint, ScheduleError> {
+        let span = self.rec.begin(names::EVALUATE);
+        let result = self.evaluate_inner(choice);
+        self.rec.end(span);
+        result
+    }
+
+    fn evaluate_inner(&mut self, choice: &[usize]) -> Result<DesignPoint, ScheduleError> {
         self.build_stage(choice)?;
         let ccg = self.ccg.take().expect("build stage just set the graph");
         let routed = self.route_stage(&ccg, choice);
         self.ccg = Some(ccg);
         let routed = routed?;
-        let t = Instant::now();
-        let dp = self.assemble_stage(choice, routed)?;
-        self.metrics.assemble_time += t.elapsed();
-        self.metrics.evaluations += 1;
+        let span = self.rec.begin(names::ASSEMBLE);
+        let dp = self.assemble_stage(choice, routed);
+        self.rec.end(span);
+        let dp = dp?;
+        self.rec.record(Counter::Evaluations, 1);
         Ok(dp)
     }
 
     /// Build stage: construct the CCG, or — when one is cached for a
     /// same-length choice — patch only the cores whose version changed.
     fn build_stage(&mut self, choice: &[usize]) -> Result<(), ScheduleError> {
-        let t = Instant::now();
+        let span = self.rec.begin(names::BUILD);
         let result = self.build_stage_inner(choice);
-        self.metrics.build_time += t.elapsed();
+        self.rec.end(span);
         match result {
             Ok(()) => {
                 self.choice.clear();
@@ -441,16 +462,17 @@ impl<'a> Scheduler<'a> {
                     let (old, new) = (self.choice[cid.index()], choice[cid.index()]);
                     if old != new {
                         let written = ccg.step_core(cid, self.data, new)?;
-                        self.metrics.ccg_incremental_patches += 1;
-                        self.metrics.ccg_edges_rebuilt += written as u64;
+                        self.rec.record(Counter::CcgIncrementalPatches, 1);
+                        self.rec.record(Counter::CcgEdgesRebuilt, written as u64);
                     }
                 }
                 self.ccg = Some(ccg);
             }
             _ => {
                 let ccg = Ccg::try_build(self.soc, self.data, choice)?;
-                self.metrics.ccg_full_builds += 1;
-                self.metrics.ccg_edges_rebuilt += ccg.edges().len() as u64;
+                self.rec.record(Counter::CcgFullBuilds, 1);
+                self.rec
+                    .record(Counter::CcgEdgesRebuilt, ccg.edges().len() as u64);
                 self.ccg = Some(ccg);
             }
         }
@@ -466,9 +488,9 @@ impl<'a> Scheduler<'a> {
     /// outcome depends only on the other cores' choices; outcomes are
     /// cached under that key and replayed on revisit.
     fn route_stage(&mut self, ccg: &Ccg, choice: &[usize]) -> Result<RoutedPlan, ScheduleError> {
-        let t = Instant::now();
+        let span = self.rec.begin(names::ROUTE);
         let result = self.route_stage_inner(ccg, choice);
-        self.metrics.route_time += t.elapsed();
+        self.rec.end(span);
         result
     }
 
@@ -489,7 +511,7 @@ impl<'a> Scheduler<'a> {
             let mut key = choice.to_vec();
             key[cid.index()] = usize::MAX;
             if let Some(outcome) = self.route_cache.get(&(cid, key.clone())) {
-                self.metrics.route_cache_hits += 1;
+                self.rec.record(Counter::RouteCacheHits, 1);
                 routed.merge(outcome);
                 continue;
             }
@@ -541,7 +563,7 @@ impl<'a> Scheduler<'a> {
                     outcome.episode.input_arrivals.push((p, route.arrival));
                 }
                 None => {
-                    self.metrics.system_mux_fallbacks += 1;
+                    self.rec.record(Counter::SystemMuxFallbacks, 1);
                     push_mux(
                         &mut outcome.muxes,
                         SystemMux {
@@ -565,7 +587,7 @@ impl<'a> Scheduler<'a> {
                     outcome.episode.output_arrivals.push((p, route.arrival));
                 }
                 None => {
-                    self.metrics.system_mux_fallbacks += 1;
+                    self.rec.record(Counter::SystemMuxFallbacks, 1);
                     push_mux(
                         &mut outcome.muxes,
                         SystemMux {
@@ -582,8 +604,8 @@ impl<'a> Scheduler<'a> {
 
         let (scratch, relaxations, attempts) = router.dismantle();
         self.scratch = Some(scratch);
-        self.metrics.dijkstra_relaxations += relaxations;
-        self.metrics.route_attempts += attempts;
+        self.rec.record(Counter::DijkstraRelaxations, relaxations);
+        self.rec.record(Counter::RouteAttempts, attempts);
 
         let ep = &mut outcome.episode;
         let max_in = ep.input_arrivals.iter().map(|(_, a)| *a).max().unwrap_or(0);

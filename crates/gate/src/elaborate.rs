@@ -83,9 +83,15 @@ pub fn elaborate(core: &Core) -> Result<Elaborated, GateError> {
 ///
 /// Same as [`elaborate`].
 pub fn elaborate_with(core: &Core, opts: &ElabOptions) -> Result<Elaborated, GateError> {
+    let _span = socet_obs::span(socet_obs::names::ELABORATE);
     let mut e = Elaborator::new(core);
     e.opts = *opts;
-    e.run()
+    let elab = e.run()?;
+    socet_obs::add(
+        socet_obs::Counter::GatesElaborated,
+        elab.netlist.gates().len() as u64,
+    );
+    Ok(elab)
 }
 
 struct Elaborator<'a> {

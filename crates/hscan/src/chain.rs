@@ -172,6 +172,7 @@ impl fmt::Display for HscanResult {
 /// in exactly one chain, so the core becomes a full-scan circuit testable
 /// with combinational ATPG.
 pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
+    let _span = socet_obs::span(socet_obs::names::HSCAN);
     let mut unchained: HashSet<RegisterId> = core.register_ids().collect();
     let mut chains: Vec<ScanChain> = Vec::new();
     let mut area = AreaReport::new();
@@ -373,6 +374,10 @@ pub fn insert_hscan(core: &Core, costs: &DftCosts) -> HscanResult {
     }
 
     let max_depth = reg_depth.values().copied().max().unwrap_or(0);
+    socet_obs::add(
+        socet_obs::Counter::ScanCellsInserted,
+        chains.iter().map(|c| c.links.len() as u64).sum(),
+    );
     HscanResult {
         chains,
         area,

@@ -209,6 +209,7 @@ pub fn try_synthesize_versions(
     hscan: &HscanResult,
     costs: &DftCosts,
 ) -> Result<Vec<CoreVersion>, SearchError> {
+    let _span = socet_obs::span(socet_obs::names::VERSIONS);
     let mut versions = Vec::with_capacity(3);
     let mut cumulative: HashSet<ChargeItem> = HashSet::new();
     for level in 1..=3u8 {
@@ -225,6 +226,10 @@ pub fn try_synthesize_versions(
             overhead,
         });
     }
+    socet_obs::add(
+        socet_obs::Counter::VersionsSynthesized,
+        versions.len() as u64,
+    );
     Ok(versions)
 }
 

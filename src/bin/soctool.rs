@@ -20,6 +20,11 @@
 //! `--cache-dir PATH` (on-disk artifact store) and `--workers N`
 //! (`0` = auto).
 //!
+//! `report`, `sweep` and `prepare` accept `--trace PATH` (machine-readable
+//! JSON trace of the run's spans and counters) and `--profile PATH`
+//! (collapsed-stack profile for flamegraph tooling) — both exporters of
+//! the unified observability layer ([`socet::obs`]).
+//!
 //! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
 //! for an n-core generated SOC.
 
@@ -27,9 +32,11 @@ use socet::bist::plan_memory_bist;
 use socet::cells::{CellLibrary, DftCosts};
 use socet::core::{parallelize, pareto_front, render_plan, Ccg, CoreTestData, Explorer};
 use socet::hscan::insert_hscan;
+use socet::obs::{Recorder, SharedRecorder};
 use socet::rtl::Soc;
 use socet::socs::{barcode_system, generate_soc, system2, SyntheticConfig};
 use socet::transparency::{synthesize_versions, Rcg};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -37,17 +44,38 @@ fn usage() -> ExitCode {
         "usage: soctool <command> [args] [--stats]\n\
          commands:\n\
            systems\n\
-           report  <system> [choice] [--stats]\n\
-           sweep   <system> [--stats]\n\
+           report  <system> [choice] [--stats] [--trace PATH] [--profile PATH]\n\
+           sweep   <system> [--stats] [--trace PATH] [--profile PATH]\n\
            dot-rcg <system> <core-name>\n\
            dot-ccg <system> [choice]\n\
            atpg    <system> [--stats]\n\
            prepare <system> [--stats] [--cache-dir PATH] [--workers N]\n\
+                   [--trace PATH] [--profile PATH]\n\
            bist    <system>\n\
          systems: system1 | system2 | synthetic:<cores>\n\
-         --stats: print engine counters (evaluation, ATPG or preparation)"
+         --stats: print engine counters (evaluation, ATPG or preparation)\n\
+         --trace: write the run's JSON trace; --profile: collapsed stacks"
     );
     ExitCode::from(2)
+}
+
+/// Writes the recorder's exports to the `--trace` / `--profile` targets.
+/// Returns `false` (and reports to stderr) if a write fails.
+fn export_trace(rec: &Recorder, trace: Option<&PathBuf>, profile: Option<&PathBuf>) -> bool {
+    let mut ok = true;
+    if let Some(path) = trace {
+        if let Err(e) = std::fs::write(path, rec.to_json()) {
+            eprintln!("cannot write trace {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    if let Some(path) = profile {
+        if let Err(e) = std::fs::write(path, rec.to_folded()) {
+            eprintln!("cannot write profile {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    ok
 }
 
 fn load_system(name: &str) -> Option<Soc> {
@@ -113,8 +141,10 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--stats");
         args.len() != before
     };
-    let cache_dir = take_flag_value(&mut args, "--cache-dir").map(std::path::PathBuf::from);
+    let cache_dir = take_flag_value(&mut args, "--cache-dir").map(PathBuf::from);
     let workers = take_flag_value(&mut args, "--workers").and_then(|w| w.parse::<usize>().ok());
+    let trace = take_flag_value(&mut args, "--trace").map(PathBuf::from);
+    let profile = take_flag_value(&mut args, "--profile").map(PathBuf::from);
     let Some(cmd) = args.first().map(String::as_str) else {
         return usage();
     };
@@ -162,6 +192,9 @@ fn main() -> ExitCode {
             if stats {
                 println!("\n{}", explorer.metrics());
             }
+            if !export_trace(&explorer.take_recorder(), trace.as_ref(), profile.as_ref()) {
+                return ExitCode::FAILURE;
+            }
         }
         "sweep" => {
             let data = prepare(&soc, 105);
@@ -189,6 +222,9 @@ fn main() -> ExitCode {
             }
             if stats {
                 println!("\n{}", explorer.metrics());
+            }
+            if !export_trace(&explorer.take_recorder(), trace.as_ref(), profile.as_ref()) {
+                return ExitCode::FAILURE;
             }
         }
         "dot-rcg" => {
@@ -241,16 +277,17 @@ fn main() -> ExitCode {
             let agg = prepared.aggregate_coverage();
             println!("\naggregate: {agg}");
             if stats {
-                let mut m = socet::core::Metrics::new();
-                m.merge_atpg(&prepared.atpg_stats());
-                println!("\n{}", m.atpg);
+                println!("\n{}", prepared.atpg_stats());
             }
         }
         "prepare" => {
-            let opts = socet::flow::PrepareOptions {
-                workers: workers.unwrap_or(0),
-                cache_dir,
-            };
+            let shared = SharedRecorder::new();
+            let mut opts = socet::flow::PrepareOptions::new()
+                .workers(workers.unwrap_or(0))
+                .recorder(shared.clone());
+            if let Some(dir) = cache_dir {
+                opts = opts.cache_dir(dir);
+            }
             let tpg = socet::atpg::TpgConfig::default();
             let (prepared, m) = match socet::flow::prepare_soc_with(&soc, &costs, &tpg, &opts) {
                 Ok(r) => r,
@@ -279,6 +316,9 @@ fn main() -> ExitCode {
             println!("\naggregate: {}", prepared.aggregate_coverage());
             if stats {
                 println!("\n{m}");
+            }
+            if !export_trace(&shared.take(), trace.as_ref(), profile.as_ref()) {
+                return ExitCode::FAILURE;
             }
         }
         "bist" => {

@@ -24,15 +24,21 @@
 //!   structure, the DFT cost knobs or the ATPG configuration changes the
 //!   key and invalidates the entry.
 //!
-//! Stage wall-times and hit/miss counters land in
-//! [`PrepareMetrics`](socet_core::PrepareMetrics), surfaced by
-//! `soctool prepare --stats`.
+//! Every stage records through the unified observability layer
+//! ([`socet::obs`](crate::obs)): the pipeline opens a `prepare` span, each
+//! unique core a `prepare_core` span with the `hscan` / `versions` /
+//! `elaborate` / `atpg` / store spans nested inside, and the cache counters
+//! land in typed [`Counter`](socet_obs::Counter) slots.
+//! [`PrepareMetrics`](socet_core::PrepareMetrics) is a view derived from
+//! that recorder ([`PrepareMetrics::from_recorder`]); pass a
+//! [`SharedRecorder`] through [`PrepareOptions::recorder`] to capture the
+//! full trace (`soctool prepare --trace out.json --profile out.folded`).
 
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use socet_atpg::{decode_test_set, encode_test_set, generate_tests, Coverage, TestSet, TpgConfig};
 use socet_cells::{CellLibrary, CodecError, Dec, DftCosts, Enc, Fingerprint, StableHasher};
@@ -40,6 +46,7 @@ use socet_core::{CoreTestData, PrepareMetrics};
 use socet_gate::codec::{decode_netlist, encode_netlist};
 use socet_gate::{elaborate, GateError, GateNetlist};
 use socet_hscan::{decode_hscan, encode_hscan, insert_hscan};
+use socet_obs::{names, Counter, Recorder, SharedRecorder};
 use socet_rtl::{Core, CoreInstanceId, Soc};
 use socet_transparency::{decode_versions, encode_versions, synthesize_versions};
 
@@ -110,7 +117,10 @@ impl PreparedSoc {
     }
 
     /// Merged ATPG-engine counters over every logic core's test
-    /// generation, ready for [`socet_core::Metrics::merge_atpg`].
+    /// generation. Counted **per physical instance**, like
+    /// [`aggregate_coverage`](Self::aggregate_coverage) — render it
+    /// directly, or fold it into a [`Recorder`](socet_obs::Recorder) with
+    /// [`socet_atpg::AtpgMetrics::record_into`].
     pub fn atpg_stats(&self) -> socet_atpg::AtpgMetrics {
         let mut m = socet_atpg::AtpgMetrics::new();
         for t in self.tests.iter().flatten() {
@@ -182,9 +192,23 @@ impl Error for PrepareError {
     }
 }
 
-/// Knobs of the preparation pipeline. [`Default`] means: auto worker
-/// count, no on-disk artifact store.
+/// Knobs of the preparation pipeline. [`Default`] / [`PrepareOptions::new`]
+/// mean: auto worker count, no on-disk artifact store, no trace capture.
+///
+/// The struct is `#[non_exhaustive]`: build it with the chainable
+/// constructors so new knobs stop being breaking changes.
+///
+/// # Examples
+///
+/// ```
+/// use socet::flow::PrepareOptions;
+/// let opts = PrepareOptions::new().workers(4).cache_dir("/tmp/socet-cache");
+/// assert_eq!(opts.workers, 4);
+/// assert!(opts.cache_dir.is_some());
+/// assert!(opts.recorder.is_none());
+/// ```
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct PrepareOptions {
     /// Worker threads for the fan-out over unique cores; `0` picks
     /// [`std::thread::available_parallelism`]. The output is bit-identical
@@ -193,6 +217,35 @@ pub struct PrepareOptions {
     /// Directory of the on-disk artifact store; `None` disables it. The
     /// directory is created on first write.
     pub cache_dir: Option<PathBuf>,
+    /// Shared recorder the pipeline folds its full event stream (spans and
+    /// counters) into; `None` skips the hand-off. Aggregate counters are
+    /// always collected either way — this knob only adds trace capture.
+    pub recorder: Option<SharedRecorder>,
+}
+
+impl PrepareOptions {
+    /// The default options: auto worker count, no disk store, no trace.
+    pub fn new() -> Self {
+        PrepareOptions::default()
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables the on-disk artifact store under `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Captures the pipeline's trace into `rec` (merged in after the run).
+    pub fn recorder(mut self, rec: SharedRecorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
 }
 
 /// One prepared core: everything the flow derives from
@@ -288,9 +341,19 @@ fn load_artifact(dir: &Path, fp: Fingerprint) -> Option<CoreArtifact> {
     decode_artifact(payload).ok()
 }
 
+/// Distinguishes this process's temporary store files from any concurrent
+/// writer's (threads within the process disambiguate via the sequence).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Stores an artifact; best-effort (an unwritable cache directory slows
 /// the next run down, it does not fail this one). Writes to a temporary
 /// sibling and renames so concurrent readers never see a torn entry.
+///
+/// The temporary name carries the process id and a per-process sequence
+/// number: two processes (or threads) racing to store the same fingerprint
+/// each rename their *own* fully written file, so the survivor is always a
+/// loadable entry. (With a shared `<fp>.tmp` name, one racer could rename
+/// the other's half-written file — the checksum hid that as a silent miss.)
 fn store_artifact(dir: &Path, fp: Fingerprint, artifact: &CoreArtifact) -> bool {
     let mut payload = Enc::new();
     encode_artifact(artifact, &mut payload);
@@ -306,48 +369,49 @@ fn store_artifact(dir: &Path, fp: Fingerprint, artifact: &CoreArtifact) -> bool 
     e.put_u64(sum.0 as u64);
     let write = || -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
-        let tmp = dir.join(format!("{}.tmp", fp.to_hex()));
+        let tmp = dir.join(format!(
+            "{}.{}.{}.tmp",
+            fp.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         fs::write(&tmp, e.bytes())?;
-        fs::rename(&tmp, store_path(dir, fp))
+        fs::rename(&tmp, store_path(dir, fp)).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
     };
     write().is_ok()
 }
 
 /// Runs the core-level flow on one unique core, consulting the disk store
-/// when configured, charging stage wall-times and cache counters to `m`.
+/// when configured. Stage wall-times and cache counters land in the
+/// thread's installed [`Recorder`]: the `prepare_core` span opened here
+/// nests the `hscan` / `versions` / `elaborate` / `atpg` spans the stage
+/// crates record themselves, plus the `store_load` / `store_write` spans
+/// around disk-store traffic.
 fn prepare_unique(
     core: &Core,
     costs: &DftCosts,
     tpg: &TpgConfig,
     cache: Option<(&Path, Fingerprint)>,
-    m: &mut PrepareMetrics,
 ) -> Result<CoreArtifact, GateError> {
+    let _core_span = socet_obs::span(names::PREPARE_CORE);
     if let Some((dir, fp)) = cache {
-        let t = Instant::now();
-        let hit = load_artifact(dir, fp);
-        m.io_time += t.elapsed();
+        let hit = {
+            let _span = socet_obs::span(names::STORE_LOAD);
+            load_artifact(dir, fp)
+        };
         if let Some(artifact) = hit {
-            m.disk_hits += 1;
+            socet_obs::add(Counter::DiskHits, 1);
             return Ok(artifact);
         }
-        m.disk_misses += 1;
+        socet_obs::add(Counter::DiskMisses, 1);
     }
 
-    let t = Instant::now();
     let hscan = insert_hscan(core, costs);
-    m.hscan_time += t.elapsed();
-
-    let t = Instant::now();
     let versions = synthesize_versions(core, &hscan, costs);
-    m.versions_time += t.elapsed();
-
-    let t = Instant::now();
     let elab = elaborate(core)?;
-    m.elaborate_time += t.elapsed();
-
-    let t = Instant::now();
     let tests = generate_tests(&elab.netlist, tpg);
-    m.atpg_time += t.elapsed();
 
     let artifact = CoreArtifact {
         data: CoreTestData {
@@ -359,11 +423,10 @@ fn prepare_unique(
         tests,
     };
     if let Some((dir, fp)) = cache {
-        let t = Instant::now();
+        let _span = socet_obs::span(names::STORE_WRITE);
         if store_artifact(dir, fp, &artifact) {
-            m.disk_writes += 1;
+            socet_obs::add(Counter::DiskWrites, 1);
         }
-        m.io_time += t.elapsed();
     }
     Ok(artifact)
 }
@@ -382,29 +445,24 @@ struct Group<'a> {
 /// collision degrades to an extra preparation instead of wrong data. A
 /// colliding core is re-keyed with a salted fingerprint so the disk store
 /// stays injective.
-fn group_by_core<'a>(
-    soc: &'a Soc,
-    costs: &DftCosts,
-    tpg: &TpgConfig,
-    m: &mut PrepareMetrics,
-) -> Vec<Group<'a>> {
+fn group_by_core<'a>(soc: &'a Soc, costs: &DftCosts, tpg: &TpgConfig) -> Vec<Group<'a>> {
     let mut groups: Vec<Group<'a>> = Vec::new();
     for (i, inst) in soc.cores().iter().enumerate() {
         if inst.is_memory() {
             continue;
         }
-        m.instances += 1;
+        socet_obs::add(Counter::Instances, 1);
         let core = inst.core();
         if let Some(g) = groups.iter_mut().find(|g| std::ptr::eq(g.core, core)) {
             g.instances.push(i);
-            m.memo_hits += 1;
+            socet_obs::add(Counter::MemoHits, 1);
             continue;
         }
         let mut fp = artifact_fingerprint(core, costs, tpg);
         match groups.iter_mut().find(|g| g.fp == fp) {
             Some(g) if *g.core == *core => {
                 g.instances.push(i);
-                m.memo_hits += 1;
+                socet_obs::add(Counter::MemoHits, 1);
                 continue;
             }
             Some(_) => {
@@ -427,7 +485,7 @@ fn group_by_core<'a>(
             instances: vec![i],
         });
     }
-    m.unique_cores = groups.len() as u64;
+    socet_obs::add(Counter::UniqueCores, groups.len() as u64);
     groups
 }
 
@@ -455,8 +513,7 @@ pub fn prepare_core(
     costs: &DftCosts,
     tpg: &TpgConfig,
 ) -> Result<(CoreTestData, GateNetlist, TestSet), GateError> {
-    let mut m = PrepareMetrics::default();
-    let artifact = prepare_unique(core, costs, tpg, None, &mut m)?;
+    let artifact = prepare_unique(core, costs, tpg, None)?;
     Ok((artifact.data, artifact.netlist, artifact.tests))
 }
 
@@ -485,15 +542,61 @@ pub fn prepare_soc(
 /// (the flow is deterministic, so sharing is observationally invisible),
 /// parallel workers merge in instance order, and a disk hit decodes to
 /// exactly the value that was encoded (the codec is a bijection).
+///
+/// The returned [`PrepareMetrics`] is a view over a fresh [`Recorder`]
+/// that observed the run ([`PrepareMetrics::from_recorder`]); when
+/// [`PrepareOptions::recorder`] is set, the recorder itself — spans and
+/// all — is folded into the shared handle afterwards.
 pub fn prepare_soc_with(
     soc: &Soc,
     costs: &DftCosts,
     tpg: &TpgConfig,
     opts: &PrepareOptions,
 ) -> Result<(PreparedSoc, PrepareMetrics), PrepareError> {
-    let start = Instant::now();
-    let mut metrics = PrepareMetrics::default();
-    let groups = group_by_core(soc, costs, tpg, &mut metrics);
+    let mut rec = Recorder::new();
+    let result = prepare_soc_recorded(soc, costs, tpg, opts, &mut rec);
+    let metrics = PrepareMetrics::from_recorder(&rec);
+    if let Some(shared) = &opts.recorder {
+        shared.lock().merge_child(rec);
+    }
+    result.map(|prepared| (prepared, metrics))
+}
+
+/// [`prepare_soc_with`] recording into a caller-owned [`Recorder`]: the
+/// run's full event stream — the `prepare` root span, per-core stage
+/// spans, cache counters — lands in `rec`, ready for
+/// [`Recorder::to_json`] / [`Recorder::to_folded`] or a
+/// [`PrepareMetrics::from_recorder`] view.
+///
+/// # Errors
+///
+/// Same contract as [`prepare_soc_with`].
+pub fn prepare_soc_recorded(
+    soc: &Soc,
+    costs: &DftCosts,
+    tpg: &TpgConfig,
+    opts: &PrepareOptions,
+    rec: &mut Recorder,
+) -> Result<PreparedSoc, PrepareError> {
+    let span = rec.begin(names::PREPARE);
+    let result = {
+        let _sink = rec.install();
+        prepare_soc_inner(soc, costs, tpg, opts)
+    };
+    rec.end(span);
+    result
+}
+
+/// The pipeline body. Runs with the caller's recorder installed as the
+/// thread's sink; parallel workers record into forks of it, adopted back
+/// in spawn order so the merged stream is deterministic.
+fn prepare_soc_inner(
+    soc: &Soc,
+    costs: &DftCosts,
+    tpg: &TpgConfig,
+    opts: &PrepareOptions,
+) -> Result<PreparedSoc, PrepareError> {
+    let groups = group_by_core(soc, costs, tpg);
     let cache_dir = opts.cache_dir.as_deref();
 
     let workers = if opts.workers == 0 {
@@ -503,7 +606,7 @@ pub fn prepare_soc_with(
     }
     .min(groups.len())
     .max(1);
-    metrics.workers = workers as u64;
+    socet_obs::add(Counter::Workers, workers as u64);
 
     let mut results: Vec<Option<Result<CoreArtifact, GateError>>> = Vec::new();
     results.resize_with(groups.len(), || None);
@@ -511,7 +614,7 @@ pub fn prepare_soc_with(
     if workers <= 1 {
         for (gi, g) in groups.iter().enumerate() {
             let cache = cache_dir.map(|d| (d, g.fp));
-            results[gi] = Some(prepare_unique(g.core, costs, tpg, cache, &mut metrics));
+            results[gi] = Some(prepare_unique(g.core, costs, tpg, cache));
         }
     } else {
         let chunk = groups.len().div_ceil(workers);
@@ -520,16 +623,20 @@ pub fn prepare_soc_with(
             let handles: Vec<_> = indexed
                 .chunks(chunk)
                 .map(|part| {
+                    // Forked on the parent thread so the worker's recorder
+                    // shares the parent's epoch and enabledness.
+                    let mut rec = socet_obs::fork_local();
                     s.spawn(move || {
-                        let mut m = PrepareMetrics::default();
-                        let out: Vec<(usize, Result<CoreArtifact, GateError>)> = part
-                            .iter()
-                            .map(|(gi, g)| {
-                                let cache = cache_dir.map(|d| (d, g.fp));
-                                (*gi, prepare_unique(g.core, costs, tpg, cache, &mut m))
-                            })
-                            .collect();
-                        (out, m)
+                        let out: Vec<(usize, Result<CoreArtifact, GateError>)> = {
+                            let _sink = rec.install();
+                            part.iter()
+                                .map(|(gi, g)| {
+                                    let cache = cache_dir.map(|d| (d, g.fp));
+                                    (*gi, prepare_unique(g.core, costs, tpg, cache))
+                                })
+                                .collect()
+                        };
+                        (out, rec)
                     })
                 })
                 .collect();
@@ -539,14 +646,14 @@ pub fn prepare_soc_with(
                 .collect::<Vec<_>>()
         });
         // Deterministic merge: shards in spawn order, groups slotted by
-        // index, worker counters summed into the caller's metrics.
-        for (out, m) in shards {
-            metrics.merge(&m);
+        // index, worker recorders adopted into the caller's in the same
+        // order — the serial and parallel event streams aggregate alike.
+        for (out, rec) in shards {
+            socet_obs::adopt([rec]);
             for (gi, r) in out {
                 results[gi] = Some(r);
             }
         }
-        metrics.workers = workers as u64;
     }
 
     // Error semantics match the serial flow: the first instance in
@@ -590,15 +697,11 @@ pub fn prepare_soc_with(
             }
         }
     }
-    metrics.total_time = start.elapsed();
-    Ok((
-        PreparedSoc {
-            data,
-            netlists,
-            tests,
-        },
-        metrics,
-    ))
+    Ok(PreparedSoc {
+        data,
+        netlists,
+        tests,
+    })
 }
 
 /// The plain serial flow, one [`prepare_core`] per logic instance with no
@@ -818,8 +921,7 @@ mod tests {
         let costs = DftCosts::default();
         let tpg = light_tpg();
         let fp = artifact_fingerprint(&core, &costs, &tpg);
-        let mut m = PrepareMetrics::default();
-        let artifact = prepare_unique(&core, &costs, &tpg, None, &mut m).unwrap();
+        let artifact = prepare_unique(&core, &costs, &tpg, None).unwrap();
         assert!(load_artifact(&dir, fp).is_none(), "cold store");
         assert!(store_artifact(&dir, fp, &artifact));
         let back = load_artifact(&dir, fp).expect("warm store");
@@ -836,5 +938,64 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(load_artifact(&dir, Fingerprint(fp.0 ^ 1)).is_none());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interleaved_writers_leave_a_loadable_entry() {
+        // Two writers racing to store the same fingerprint (two processes
+        // or two threads warming one cache) must each publish their own
+        // fully written temporary — whichever rename lands last, the entry
+        // loads. With a shared `<fp>.tmp` name, writer B could rename
+        // writer A's half-written file into place.
+        let dir = std::env::temp_dir().join(format!("socet-store-race-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let core = socet_socs::gcd_core();
+        let costs = DftCosts::default();
+        let tpg = light_tpg();
+        let fp = artifact_fingerprint(&core, &costs, &tpg);
+        let artifact = prepare_unique(&core, &costs, &tpg, None).unwrap();
+        for round in 0..8 {
+            std::thread::scope(|s| {
+                let a = s.spawn(|| store_artifact(&dir, fp, &artifact));
+                let b = s.spawn(|| store_artifact(&dir, fp, &artifact));
+                assert!(a.join().unwrap(), "round {round}: writer a");
+                assert!(b.join().unwrap(), "round {round}: writer b");
+            });
+            assert!(
+                load_artifact(&dir, fp).is_some(),
+                "round {round}: surviving entry must load"
+            );
+        }
+        // No stranded temporaries: every tmp either renamed or was removed.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stranded temporaries: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_report_identical_counters() {
+        // Satellite pin: the recorder merge charges worker counters the
+        // same way the serial flow does — aggregate counters must not
+        // depend on the fan-out (only `workers` itself differs by design,
+        // so compare it explicitly).
+        let soc = socet_socs::system2();
+        let costs = DftCosts::default();
+        let tpg = light_tpg();
+        let (_, serial) =
+            prepare_soc_with(&soc, &costs, &tpg, &PrepareOptions::new().workers(1)).unwrap();
+        let (_, parallel) =
+            prepare_soc_with(&soc, &costs, &tpg, &PrepareOptions::new().workers(3)).unwrap();
+        assert_eq!(serial.workers, 1);
+        assert_eq!(parallel.workers, 3, "system2 has 3 unique logic cores");
+        assert_eq!(serial.instances, parallel.instances);
+        assert_eq!(serial.unique_cores, parallel.unique_cores);
+        assert_eq!(serial.memo_hits, parallel.memo_hits);
+        assert_eq!(serial.disk_hits, parallel.disk_hits);
+        assert_eq!(serial.disk_misses, parallel.disk_misses);
+        assert_eq!(serial.disk_writes, parallel.disk_writes);
     }
 }

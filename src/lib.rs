@@ -18,6 +18,7 @@
 //! | [`hscan`] | `socet-hscan` | HSCAN scan-chain construction |
 //! | [`transparency`] | `socet-transparency` | RCG, path search, core versions |
 //! | [`core`] | `socet-core` | CCG, routed schedules, iterative improvement |
+//! | [`obs`] | `socet-obs` | spans, counters, recorders, trace exporters |
 //! | [`baselines`] | `socet-baselines` | FSCAN-BSCAN, test bus, chip flattening |
 //! | [`bist`] | `socet-bist` | memory BIST: LFSR/MISR, March C−, BIST plans |
 //! | [`socs`] | `socet-socs` | the paper's System 1 (barcode) and System 2 |
@@ -47,6 +48,7 @@ pub use socet_cells as cells;
 pub use socet_core as core;
 pub use socet_gate as gate;
 pub use socet_hscan as hscan;
+pub use socet_obs as obs;
 pub use socet_rtl as rtl;
 pub use socet_socs as socs;
 pub use socet_transparency as transparency;

@@ -1,0 +1,293 @@
+//! Observability-layer integration: the trace a pipeline run records has
+//! the documented span shape, both exporters emit well-formed output, and
+//! recording is observationally inert — it never changes pipeline bytes.
+
+use proptest::prelude::*;
+use socet::atpg::TpgConfig;
+use socet::cells::DftCosts;
+use socet::flow::{prepare_soc_recorded, prepare_soc_with, PrepareOptions, PreparedSoc};
+use socet::obs::{names, Counter, Recorder, SpanRec};
+use socet::rtl::{Soc, SocBuilder};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn light_tpg() -> TpgConfig {
+    TpgConfig {
+        random_patterns: 16,
+        max_backtracks: 32,
+        ..TpgConfig::default()
+    }
+}
+
+/// Two instances of one core — small enough to prepare repeatedly, rich
+/// enough to exercise the memo (one unique core, two instances).
+fn twin_soc() -> Soc {
+    let gcd = Arc::new(socet::socs::gcd_core());
+    let port = |n: &str| gcd.find_port(n).unwrap();
+    let mut b = SocBuilder::new("twin");
+    let x = b.input_pin("X", 12).unwrap();
+    let g = b.output_pin("G", 12).unwrap();
+    let a = b.instantiate("gcd_a", Arc::clone(&gcd)).unwrap();
+    let c = b.instantiate("gcd_b", Arc::clone(&gcd)).unwrap();
+    b.connect_pin_to_core(x, a, port("X")).unwrap();
+    b.connect_cores(a, port("G"), c, port("Y")).unwrap();
+    b.connect_core_to_pin(c, port("G"), g).unwrap();
+    b.build().unwrap()
+}
+
+fn fresh_cache_dir(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("obs-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The root-to-leaf name path of span `i`.
+fn path(spans: &[SpanRec], i: usize) -> Vec<&'static str> {
+    let mut frames = Vec::new();
+    let mut cur = Some(i as u32);
+    while let Some(id) = cur {
+        frames.push(spans[id as usize].name);
+        cur = spans[id as usize].parent;
+    }
+    frames.reverse();
+    frames
+}
+
+#[test]
+fn trace_shape_matches_the_pipeline_structure() {
+    let soc = twin_soc();
+    let opts = PrepareOptions::new()
+        .workers(1)
+        .cache_dir(fresh_cache_dir("trace-shape"));
+    let mut rec = Recorder::new();
+    prepare_soc_recorded(&soc, &DftCosts::default(), &light_tpg(), &opts, &mut rec).unwrap();
+
+    let spans = rec.spans();
+    assert_eq!(spans[0].name, names::PREPARE, "root span opens first");
+    assert_eq!(spans[0].parent, None);
+    assert_eq!(
+        spans.iter().filter(|s| s.name == names::PREPARE).count(),
+        1,
+        "exactly one pipeline root"
+    );
+
+    // Golden nesting: prepare → prepare_core → {store_load, hscan,
+    // versions, elaborate, atpg → {atpg_random, atpg_podem}, store_write}.
+    let expect_under_core = [
+        names::STORE_LOAD,
+        names::HSCAN,
+        names::VERSIONS,
+        names::ELABORATE,
+        names::ATPG,
+        names::STORE_WRITE,
+    ];
+    for (i, s) in spans.iter().enumerate() {
+        let p = path(spans, i);
+        match s.name {
+            names::PREPARE => assert_eq!(p, [names::PREPARE]),
+            names::PREPARE_CORE => assert_eq!(p, [names::PREPARE, names::PREPARE_CORE]),
+            names::ATPG_RANDOM | names::ATPG_PODEM => assert_eq!(
+                p,
+                [names::PREPARE, names::PREPARE_CORE, names::ATPG, s.name]
+            ),
+            names::FSIM_SHARD => assert_eq!(
+                p[..3],
+                [names::PREPARE, names::PREPARE_CORE, names::ATPG],
+                "fault-sim shards live under the atpg span: {p:?}"
+            ),
+            name if expect_under_core.contains(&name) => {
+                assert_eq!(p, [names::PREPARE, names::PREPARE_CORE, name])
+            }
+            other => panic!("unexpected span `{other}` in a prepare trace"),
+        }
+    }
+    // One unique core, prepared once; its cold cache probe missed and the
+    // artifact was written back.
+    assert_eq!(rec.span_count(names::PREPARE_CORE), 1);
+    assert_eq!(rec.span_count(names::STORE_LOAD), 1);
+    assert_eq!(rec.span_count(names::STORE_WRITE), 1);
+    for stage in [names::HSCAN, names::VERSIONS, names::ELABORATE, names::ATPG] {
+        assert_eq!(rec.span_count(stage), 1, "stage `{stage}` runs once");
+    }
+    assert_eq!(rec.counter(Counter::Instances), 2);
+    assert_eq!(rec.counter(Counter::UniqueCores), 1);
+    assert_eq!(rec.counter(Counter::MemoHits), 1);
+    assert_eq!(rec.counter(Counter::DiskMisses), 1);
+    assert_eq!(rec.counter(Counter::DiskWrites), 1);
+    assert_eq!(rec.counter(Counter::Workers), 1);
+    assert_eq!(rec.dropped_spans(), 0);
+}
+
+#[test]
+fn exporters_emit_wellformed_output() {
+    let soc = twin_soc();
+    let mut rec = Recorder::new();
+    prepare_soc_recorded(
+        &soc,
+        &DftCosts::default(),
+        &light_tpg(),
+        &PrepareOptions::new().workers(1),
+        &mut rec,
+    )
+    .unwrap();
+
+    let json = rec.to_json();
+    assert!(json_parses(&json), "trace must be valid JSON:\n{json}");
+    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"name\": \"prepare\""));
+    assert!(json.contains("\"instances\": 2"));
+
+    let folded = rec.to_folded();
+    assert!(!folded.is_empty(), "profile must not be empty");
+    for line in folded.lines() {
+        let (stack, ns) = line.rsplit_once(' ').expect("`stack SP value` lines");
+        assert!(stack.starts_with("prepare"), "stacks root at the pipeline");
+        assert!(ns.parse::<u128>().expect("integer nanoseconds") > 0);
+    }
+}
+
+/// A minimal JSON recognizer — enough to catch unbalanced structure,
+/// missing commas and bad literals in the hand-rolled exporter.
+fn json_parses(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> bool {
+        ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    ws(b, i);
+                    if !string(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return false;
+                    }
+                    *i += 1;
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, i) {
+                        return false;
+                    }
+                    ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return true;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                *i += 1;
+                while b
+                    .get(*i)
+                    .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(c))
+                {
+                    *i += 1;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> bool {
+        if b.get(*i) != Some(&b'"') {
+            return false;
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return true;
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        false
+    }
+    fn literal(b: &[u8], i: &mut usize, word: &[u8]) -> bool {
+        if b.len() - *i >= word.len() && &b[*i..*i + word.len()] == word {
+            *i += word.len();
+            true
+        } else {
+            false
+        }
+    }
+    if !value(b, &mut i) {
+        return false;
+    }
+    ws(b, &mut i);
+    i == b.len()
+}
+
+/// Byte encodings of every instance's artifact (`None` for memories).
+fn all_bytes(p: &PreparedSoc, soc: &Soc) -> Vec<Option<Vec<u8>>> {
+    (0..soc.cores().len())
+        .map(|i| p.artifact_bytes(i))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Recording is observationally inert: capturing a full trace changes
+    /// no pipeline output bytes, for any worker count and ATPG seed.
+    #[test]
+    fn recording_changes_no_pipeline_bytes(
+        workers in 1usize..5,
+        seed in 0u64..3,
+    ) {
+        let soc = twin_soc();
+        let costs = DftCosts::default();
+        let tpg = TpgConfig { seed, ..light_tpg() };
+        let plain = PrepareOptions::new().workers(workers);
+        let (unrecorded, _) = prepare_soc_with(&soc, &costs, &tpg, &plain).unwrap();
+        let shared = socet::obs::SharedRecorder::new();
+        let traced = PrepareOptions::new().workers(workers).recorder(shared.clone());
+        let (recorded, _) = prepare_soc_with(&soc, &costs, &tpg, &traced).unwrap();
+        prop_assert_eq!(all_bytes(&recorded, &soc), all_bytes(&unrecorded, &soc));
+        let rec = shared.take();
+        prop_assert!(rec.span_count(socet::obs::names::PREPARE) >= 1);
+    }
+}

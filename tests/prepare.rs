@@ -39,10 +39,7 @@ fn parallel_output_is_bit_identical_to_serial() {
     let oracle = prepare_soc_uncached(&soc, &costs, &tpg).unwrap();
     let want = all_bytes(&oracle, &soc);
     for workers in [1, 2, 4, 8] {
-        let opts = PrepareOptions {
-            workers,
-            cache_dir: None,
-        };
+        let opts = PrepareOptions::new().workers(workers);
         let (got, m) = prepare_soc_with(&soc, &costs, &tpg, &opts).unwrap();
         assert_eq!(
             all_bytes(&got, &soc),
@@ -58,10 +55,9 @@ fn warm_disk_cache_is_bit_identical_to_cold() {
     let soc = socet::socs::system2();
     let costs = DftCosts::default();
     let tpg = light_tpg();
-    let opts = PrepareOptions {
-        workers: 1,
-        cache_dir: Some(fresh_cache_dir("warm")),
-    };
+    let opts = PrepareOptions::new()
+        .workers(1)
+        .cache_dir(fresh_cache_dir("warm"));
     let (cold, mc) = prepare_soc_with(&soc, &costs, &tpg, &opts).unwrap();
     assert_eq!(mc.disk_hits, 0);
     assert_eq!(mc.disk_writes, mc.unique_cores);
@@ -78,10 +74,9 @@ fn warm_disk_cache_is_bit_identical_to_cold() {
 fn tpg_change_invalidates_the_cache() {
     let soc = socet::socs::system2();
     let costs = DftCosts::default();
-    let opts = PrepareOptions {
-        workers: 1,
-        cache_dir: Some(fresh_cache_dir("tpg-invalidate")),
-    };
+    let opts = PrepareOptions::new()
+        .workers(1)
+        .cache_dir(fresh_cache_dir("tpg-invalidate"));
     let tpg = light_tpg();
     let (_, first) = prepare_soc_with(&soc, &costs, &tpg, &opts).unwrap();
     assert_eq!(first.disk_writes, first.unique_cores);
@@ -101,10 +96,9 @@ fn tpg_change_invalidates_the_cache() {
 fn dft_cost_change_invalidates_the_cache() {
     let soc = socet::socs::system2();
     let tpg = light_tpg();
-    let opts = PrepareOptions {
-        workers: 1,
-        cache_dir: Some(fresh_cache_dir("costs-invalidate")),
-    };
+    let opts = PrepareOptions::new()
+        .workers(1)
+        .cache_dir(fresh_cache_dir("costs-invalidate"));
     let costs = DftCosts::default();
     let (_, first) = prepare_soc_with(&soc, &costs, &tpg, &opts).unwrap();
     assert_eq!(first.disk_writes, first.unique_cores);
@@ -131,7 +125,7 @@ proptest! {
         let costs = DftCosts::default();
         let tpg = TpgConfig { seed, ..light_tpg() };
         let oracle = prepare_soc_uncached(&soc, &costs, &tpg).unwrap();
-        let opts = PrepareOptions { workers, cache_dir: None };
+        let opts = PrepareOptions::new().workers(workers);
         let (got, _) = prepare_soc_with(&soc, &costs, &tpg, &opts).unwrap();
         prop_assert_eq!(all_bytes(&got, &soc), all_bytes(&oracle, &soc));
     }
