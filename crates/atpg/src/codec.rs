@@ -95,7 +95,19 @@ pub fn decode_test_set(d: &mut Dec) -> Result<TestSet, CodecError> {
     if width > u32::MAX as usize {
         return Err(CodecError::Corrupt("pattern width out of range"));
     }
+    // An empty set encodes width 0; any other width for zero patterns is a
+    // second byte string for the same value, which would break the
+    // one-value-one-encoding bijection the cache's equality tests rely on.
+    if count == 0 && width != 0 {
+        return Err(CodecError::Corrupt("width without patterns"));
+    }
     let bytes_per = width.div_ceil(8);
+    // Bound the pattern loop by what the buffer can actually hold: a
+    // corrupted count must not spin through billions of (possibly
+    // zero-byte) patterns before hitting end-of-buffer.
+    if count > d.remaining().max(1 << 20) {
+        return Err(CodecError::Corrupt("pattern count implausible"));
+    }
     let mut patterns = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let packed = d.get_raw(bytes_per)?;

@@ -57,10 +57,18 @@ pub fn build_controller(soc: &Soc, plan: &DesignPoint) -> Result<TestController,
 
     let mut b = GateNetlistBuilder::new("test_controller");
     let reset = b.input("reset");
-    // Ripple counter with synchronous reset: q' = reset ? 0 : q + 1.
+    // Ripple counter with synchronous reset, saturating at `total`:
+    // q' = reset ? 0 : (done ? q : q + 1). Without the saturation the
+    // counter would wrap 2^bits - total cycles after `done` and re-assert
+    // the first episode's enable (found by the replay oracle's
+    // cycle-accurate controller test).
     let qs: Vec<SignalId> = (0..counter_bits).map(|_| b.dff_deferred()).collect();
     let nreset = b.gate1(GateKind::Not, reset);
-    let mut carry = b.const1();
+    let running = {
+        let done = build_ge_const(&mut b, &qs, total);
+        b.gate1(GateKind::Not, done)
+    };
+    let mut carry = running;
     for &q in &qs {
         let sum = b.gate2(GateKind::Xor2, q, carry);
         let next_carry = b.gate2(GateKind::And2, q, carry);

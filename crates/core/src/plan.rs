@@ -60,6 +60,55 @@ impl fmt::Display for SystemMux {
     }
 }
 
+/// One transparency hop of a routed itinerary: the data crosses core
+/// `core` from input `input` to output `output` through transparency path
+/// `path` of the chosen version, entering `start` cycles after the route's
+/// launch and leaving `latency` cycles later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHop {
+    /// The transit core the hop crosses.
+    pub core: CoreInstanceId,
+    /// The transit core's input port the data enters through.
+    pub input: PortId,
+    /// The transit core's output port the data leaves through.
+    pub output: PortId,
+    /// Index of the transparency path used, within the chosen version's
+    /// path list.
+    pub path: usize,
+    /// Cycles after the route's launch at which the data enters the hop.
+    pub start: u32,
+    /// The hop's register latency (cycles spent inside the transit core).
+    pub latency: u32,
+}
+
+/// The full routed itinerary of one core port: which chip pin the data
+/// enters or leaves through and every transparency hop in between, in
+/// travel order. The replay oracle uses this to reproduce the exact
+/// cycle-by-cycle transport on the gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteItinerary {
+    /// The core-under-test port this itinerary justifies (input) or
+    /// observes (output).
+    pub port: PortId,
+    /// Total route latency in cycles (equals the episode's arrival entry
+    /// for the same port).
+    pub arrival: u32,
+    /// The chip pin at the far end, or `None` when the port fell back to a
+    /// system-level test mux (direct pin access, no routed transport).
+    pub pin: Option<socet_rtl::ChipPinId>,
+    /// Transparency hops in travel order (empty for direct pin routes and
+    /// system-mux fallbacks).
+    pub hops: Vec<RouteHop>,
+}
+
+impl RouteItinerary {
+    /// Whether this port is served by a system-level test mux instead of a
+    /// routed transparency path.
+    pub fn is_system_mux(&self) -> bool {
+        self.pin.is_none()
+    }
+}
+
 /// The routed test episode of one core under test.
 #[derive(Debug, Clone)]
 pub struct CoreEpisode {
@@ -78,6 +127,12 @@ pub struct CoreEpisode {
     pub input_arrivals: Vec<(PortId, u32)>,
     /// Observation latency of each core output.
     pub output_arrivals: Vec<(PortId, u32)>,
+    /// Full routed itinerary of each core input (same order as
+    /// `input_arrivals`).
+    pub input_routes: Vec<RouteItinerary>,
+    /// Full routed itinerary of each core output (same order as
+    /// `output_arrivals`).
+    pub output_routes: Vec<RouteItinerary>,
     /// Cores whose transparency this episode routes through.
     pub transit_cores: Vec<CoreInstanceId>,
     /// Chip pins this episode drives or observes.
@@ -167,6 +222,8 @@ mod tests {
             hscan_vectors: 525,
             input_arrivals: vec![],
             output_arrivals: vec![],
+            input_routes: vec![],
+            output_routes: vec![],
             transit_cores: vec![],
             pins: vec![],
         };
@@ -183,6 +240,8 @@ mod tests {
             hscan_vectors: t,
             input_arrivals: vec![],
             output_arrivals: vec![],
+            input_routes: vec![],
+            output_routes: vec![],
             transit_cores: vec![],
             pins: vec![],
         };

@@ -21,7 +21,7 @@
 use crate::ccg::{Ccg, CcgEdgeKind, CcgNode, Resource};
 use crate::error::ScheduleError;
 use crate::metrics::Metrics;
-use crate::plan::{CoreEpisode, CoreTestData, DesignPoint, SystemMux};
+use crate::plan::{CoreEpisode, CoreTestData, DesignPoint, RouteHop, RouteItinerary, SystemMux};
 use socet_cells::{AreaReport, CellKind, DftCosts};
 use socet_obs::{names, Counter, Recorder};
 use socet_rtl::{CoreInstanceId, PortId, Soc};
@@ -41,6 +41,9 @@ pub struct RouteResult {
     /// Indices of the SOC nets the route crosses — the interconnect this
     /// test exercises (the coverage the test-bus architecture cannot give).
     pub crossed_nets: Vec<usize>,
+    /// Transparency hops in travel order, with their launch-relative start
+    /// cycles — the full itinerary the replay oracle reproduces.
+    pub hops: Vec<RouteHop>,
 }
 
 /// Reusable routing workspace: Dijkstra arrays, the priority queue and the
@@ -184,6 +187,7 @@ impl<'a> Router<'a> {
         // Walk back, reserving and collecting transparency pairs.
         let mut used_pairs = Vec::new();
         let mut crossed_nets = Vec::new();
+        let mut hops = Vec::new();
         let mut node = target;
         let mut terminal = target;
         while let Some((ei, start)) = scratch.pred[node] {
@@ -191,7 +195,7 @@ impl<'a> Router<'a> {
             if let CcgEdgeKind::Interconnect { net } = e.kind {
                 crossed_nets.push(net);
             }
-            if let CcgEdgeKind::Transparency { core, .. } = e.kind {
+            if let CcgEdgeKind::Transparency { core, path } = e.kind {
                 let dur = e.latency.max(1);
                 reserve(&mut scratch.reservations, &e.resources, start, dur);
                 let input = match ccg.nodes()[e.from] {
@@ -203,11 +207,20 @@ impl<'a> Router<'a> {
                     other => unreachable!("transparency edge into {other}"),
                 };
                 used_pairs.push((core, input, output));
+                hops.push(RouteHop {
+                    core,
+                    input,
+                    output,
+                    path,
+                    start,
+                    latency: e.latency,
+                });
             }
             node = e.from;
             terminal = node;
         }
         used_pairs.reverse();
+        hops.reverse();
         // One endpoint of the path is the CCG node we started from or
         // reached; report whichever end is a chip pin.
         let pin = [terminal, target]
@@ -222,6 +235,7 @@ impl<'a> Router<'a> {
             used_pairs,
             pin,
             crossed_nets,
+            hops,
         })
     }
 }
@@ -545,6 +559,8 @@ impl<'a> Scheduler<'a> {
                 hscan_vectors: td.hscan_vectors() as u64,
                 input_arrivals: Vec::new(),
                 output_arrivals: Vec::new(),
+                input_routes: Vec::new(),
+                output_routes: Vec::new(),
                 transit_cores: Vec::new(),
                 pins: Vec::new(),
             },
@@ -561,6 +577,12 @@ impl<'a> Scheduler<'a> {
                 Some(route) => {
                     outcome.absorb_route(&route);
                     outcome.episode.input_arrivals.push((p, route.arrival));
+                    outcome.episode.input_routes.push(RouteItinerary {
+                        port: p,
+                        arrival: route.arrival,
+                        pin: route.pin,
+                        hops: route.hops,
+                    });
                 }
                 None => {
                     self.rec.record(Counter::SystemMuxFallbacks, 1);
@@ -574,6 +596,12 @@ impl<'a> Scheduler<'a> {
                         },
                     );
                     outcome.episode.input_arrivals.push((p, 0));
+                    outcome.episode.input_routes.push(RouteItinerary {
+                        port: p,
+                        arrival: 0,
+                        pin: None,
+                        hops: Vec::new(),
+                    });
                 }
             }
         }
@@ -585,6 +613,12 @@ impl<'a> Scheduler<'a> {
                 Some(route) => {
                     outcome.absorb_route(&route);
                     outcome.episode.output_arrivals.push((p, route.arrival));
+                    outcome.episode.output_routes.push(RouteItinerary {
+                        port: p,
+                        arrival: route.arrival,
+                        pin: route.pin,
+                        hops: route.hops,
+                    });
                 }
                 None => {
                     self.rec.record(Counter::SystemMuxFallbacks, 1);
@@ -598,6 +632,12 @@ impl<'a> Scheduler<'a> {
                         },
                     );
                     outcome.episode.output_arrivals.push((p, 0));
+                    outcome.episode.output_routes.push(RouteItinerary {
+                        port: p,
+                        arrival: 0,
+                        pin: None,
+                        hops: Vec::new(),
+                    });
                 }
             }
         }
@@ -617,7 +657,13 @@ impl<'a> Scheduler<'a> {
             .unwrap_or(0);
         ep.per_vector_cycles = max_in.max(max_out).max(1);
         let depth = td.hscan.sequential_depth() as u32;
-        ep.tail_cycles = depth.saturating_sub(1) + max_out;
+        // The tail must never be zero: with `per_vector == max_in`, the last
+        // vector's data is still in transit at cycle `vectors × per_vector`,
+        // so a zero tail (depth-1 chains observed directly at pins) would
+        // end the episode's window one cycle before its final capture —
+        // and back-to-back packing would let the next episode's test mode
+        // corrupt that in-flight vector (found by the replay oracle).
+        ep.tail_cycles = (depth.saturating_sub(1) + max_out).max(1);
         Ok(outcome)
     }
 

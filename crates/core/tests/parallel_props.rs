@@ -1,0 +1,140 @@
+//! Property tests of the parallel packer ([`socet_core::parallelize`]):
+//! on a population of seeded synthetic SOCs, every packed schedule keeps
+//! time-overlapping episodes resource-disjoint and never takes longer
+//! than the paper's serial order.
+
+use proptest::prelude::*;
+use socet_cells::DftCosts;
+use socet_core::{parallelize, try_schedule, CoreEpisode, CoreTestData, DesignPoint};
+use socet_hscan::insert_hscan;
+use socet_rtl::Soc;
+use socet_socs::SocSpec;
+use socet_transparency::try_synthesize_versions;
+
+/// Mirrors the packer's private resource model: an episode occupies its
+/// CUT, every transit core, and every chip pin it drives or observes.
+fn resources(ep: &CoreEpisode) -> Vec<(u8, usize)> {
+    let mut v = vec![(0u8, ep.core.index())];
+    v.extend(ep.transit_cores.iter().map(|c| (0u8, c.index())));
+    v.extend(ep.pins.iter().map(|p| (1u8, p.index())));
+    v
+}
+
+/// Prepares and schedules a synthetic SOC at the all-default design point.
+/// Returns `None` when the spec is legitimately unschedulable (no routes,
+/// version synthesis fails) — those seeds are skipped, not failed.
+fn plan_for(spec: &SocSpec) -> Option<(Soc, DesignPoint)> {
+    let soc = spec.build();
+    let costs = DftCosts::default();
+    let mut data: Vec<Option<CoreTestData>> = Vec::new();
+    for inst in soc.cores() {
+        if inst.is_memory() {
+            data.push(None);
+            continue;
+        }
+        let hscan = insert_hscan(inst.core(), &costs);
+        let versions = try_synthesize_versions(inst.core(), &hscan, &costs).ok()?;
+        data.push(Some(CoreTestData {
+            versions,
+            hscan,
+            scan_vectors: 4,
+        }));
+    }
+    let choice = vec![0; soc.cores().len()];
+    let plan = try_schedule(&soc, &data, &choice, &costs).ok()?;
+    Some((soc, plan))
+}
+
+fn assert_packing_sound(soc: &Soc, plan: &DesignPoint) {
+    let par = parallelize(soc, plan);
+    assert!(
+        par.makespan <= par.serial_tat,
+        "packed TAT {} exceeds serial {} on {}",
+        par.makespan,
+        par.serial_tat,
+        soc.name()
+    );
+    assert_eq!(par.windows.len(), plan.episodes.len());
+    // Every episode's window is exactly its test time.
+    for (core, start, end) in &par.windows {
+        let ep = plan.episodes.iter().find(|e| e.core == *core).unwrap();
+        assert_eq!(end - start, ep.test_time(), "window length for {core}");
+    }
+    // Pairwise: overlapping windows must have disjoint resource sets.
+    for (k, (c1, s1, e1)) in par.windows.iter().enumerate() {
+        for (c2, s2, e2) in par.windows.iter().skip(k + 1) {
+            if s1 >= e2 || s2 >= e1 {
+                continue; // no time overlap
+            }
+            let ep1 = plan.episodes.iter().find(|e| e.core == *c1).unwrap();
+            let ep2 = plan.episodes.iter().find(|e| e.core == *c2).unwrap();
+            let r1 = resources(ep1);
+            let shared: Vec<_> = resources(ep2)
+                .into_iter()
+                .filter(|r| r1.contains(r))
+                .collect();
+            assert!(
+                shared.is_empty(),
+                "episodes {c1} and {c2} overlap in time ({s1}..{e1} vs {s2}..{e2}) \
+                 sharing resources {shared:?} on {}",
+                soc.name()
+            );
+        }
+    }
+}
+
+/// The headline sweep: 100 seeded synthetic SOCs, every schedulable one
+/// packs soundly. A floor on schedulable seeds guards against the skip
+/// path silently swallowing the whole population.
+#[test]
+fn hundred_synthetic_socs_pack_soundly() {
+    let mut scheduled = 0u32;
+    for seed in 1..=100u64 {
+        let spec = SocSpec::random(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Some((soc, plan)) = plan_for(&spec) {
+            assert_packing_sound(&soc, &plan);
+            scheduled += 1;
+        }
+    }
+    assert!(scheduled >= 60, "only {scheduled}/100 seeds schedulable");
+}
+
+#[test]
+fn paper_systems_pack_soundly() {
+    for soc in [socet_socs::barcode_system(), socet_socs::system2()] {
+        let costs = DftCosts::default();
+        let data: Vec<Option<CoreTestData>> = soc
+            .cores()
+            .iter()
+            .map(|inst| {
+                if inst.is_memory() {
+                    return None;
+                }
+                let hscan = insert_hscan(inst.core(), &costs);
+                Some(CoreTestData {
+                    versions: try_synthesize_versions(inst.core(), &hscan, &costs).unwrap(),
+                    hscan,
+                    scan_vectors: 20,
+                })
+            })
+            .collect();
+        let choice = vec![0; soc.cores().len()];
+        let plan = try_schedule(&soc, &data, &choice, &costs).unwrap();
+        assert_packing_sound(&soc, &plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same invariants under proptest's seed exploration, plus shrinking
+    /// to a small offending spec if one ever appears.
+    #[test]
+    fn packed_schedules_stay_sound(seed in 1u64..u64::MAX) {
+        if let Some((soc, plan)) = plan_for(&SocSpec::random(seed)) {
+            let par = parallelize(&soc, &plan);
+            prop_assert!(par.makespan <= par.serial_tat);
+            assert_packing_sound(&soc, &plan);
+        }
+    }
+}

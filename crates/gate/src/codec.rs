@@ -88,6 +88,11 @@ fn get_signal(d: &mut Dec, gate_count: usize) -> Result<SignalId, CodecError> {
 pub fn decode_netlist(d: &mut Dec) -> Result<GateNetlist, CodecError> {
     let name = d.get_str()?;
     let gate_count = d.get_usize()?;
+    // Every gate costs at least one byte, so a count beyond the remaining
+    // buffer is corrupt — reject it before reserving any memory for it.
+    if gate_count > d.remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut gates = Vec::with_capacity(gate_count.min(1 << 24));
     for _ in 0..gate_count {
         let kind = kind_from_tag(d.get_u8()?)?;
@@ -105,12 +110,18 @@ pub fn decode_netlist(d: &mut Dec) -> Result<GateNetlist, CodecError> {
         gates.push(Gate { kind, ops });
     }
     let input_count = d.get_usize()?;
+    if input_count > d.remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut inputs = Vec::with_capacity(input_count.min(1 << 20));
     for _ in 0..input_count {
         let name = d.get_str()?;
         inputs.push((name, get_signal(d, gate_count)?));
     }
     let output_count = d.get_usize()?;
+    if output_count > d.remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut outputs = Vec::with_capacity(output_count.min(1 << 20));
     for _ in 0..output_count {
         let name = d.get_str()?;

@@ -28,5 +28,5 @@ pub mod synthetic;
 pub mod system2;
 
 pub use barcode::{barcode_system, cpu_core, display_core, memory_core, preprocessor_core};
-pub use synthetic::{generate_soc, SyntheticConfig};
+pub use synthetic::{generate_soc, SocSpec, SynthCoreSpec, SyntheticConfig};
 pub use system2::{gcd_core, graphics_core, system2, x25_core};

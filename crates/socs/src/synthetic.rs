@@ -1,7 +1,8 @@
 //! Deterministic synthetic SOC generation, for scaling studies and
 //! property tests beyond the paper's two hand-built systems.
 
-use socet_rtl::{Core, CoreBuilder, Direction, RtlNode, Soc, SocBuilder};
+use socet_rtl::{BitRange, Core, CoreBuilder, Direction, RtlNode, Soc, SocBuilder, SocEndpoint};
+use std::fmt;
 use std::sync::Arc;
 
 /// Shape parameters of a generated SOC.
@@ -116,6 +117,245 @@ pub fn generate_soc(config: &SyntheticConfig) -> Soc {
     sb.build().expect("synthetic SOC is consistent")
 }
 
+/// Shape of one core in a [`SocSpec`]: the knobs the randomized replay
+/// harness varies and the shrinker turns off one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthCoreSpec {
+    /// Datapath width of the core's ports and registers (kept ≥ 2).
+    pub width: u16,
+    /// Register depth of the main pipeline (kept ≥ 1).
+    pub depth: usize,
+    /// Whether a Version-2-style shortcut mux bypasses the pipeline.
+    pub shortcut: bool,
+    /// Whether the core has a second input port muxed into the pipeline
+    /// (extra mux fan-in on a register).
+    pub side_input: bool,
+    /// Whether the core's output also gets a dedicated chip pin.
+    pub tap: bool,
+}
+
+/// A fully explicit synthetic-SOC description: unlike [`SyntheticConfig`]
+/// (one shape knob for all cores), every core's width, depth, mux fan-in
+/// and pin access is individually controlled. This is the search space the
+/// replay oracle's randomized harness draws from and the greedy shrinker
+/// minimizes over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocSpec {
+    /// Per-core shapes, in backbone order.
+    pub cores: Vec<SynthCoreSpec>,
+}
+
+impl fmt::Display for SocSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec[")?;
+        for (k, c) in self.cores.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(
+                f,
+                "w{}d{}{}{}{}",
+                c.width,
+                c.depth,
+                if c.shortcut { "s" } else { "" },
+                if c.side_input { "i" } else { "" },
+                if c.tap { "t" } else { "" }
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl SocSpec {
+    /// Draws a random spec from `seed`: 2–6 cores, widths 2–16, depths
+    /// 1–3, independent shortcut / side-input / tap flags. Deterministic in
+    /// the seed.
+    pub fn random(seed: u64) -> SocSpec {
+        let mut s = seed.max(1);
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let n = 2 + (rng() % 5) as usize;
+        let cores = (0..n)
+            .map(|_| SynthCoreSpec {
+                width: 2 + (rng() % 15) as u16,
+                depth: 1 + (rng() % 3) as usize,
+                shortcut: rng() % 2 == 0,
+                side_input: rng() % 3 == 0,
+                tap: rng() % 3 == 0,
+            })
+            .collect();
+        SocSpec { cores }
+    }
+
+    /// Builds the spec's core netlist for backbone position `k`.
+    fn spec_core(&self, k: usize) -> Core {
+        let sc = &self.cores[k];
+        let (width, depth) = (sc.width.max(2), sc.depth.max(1));
+        let mut b = CoreBuilder::new(&format!("score{k}"));
+        let i = b.port("i", Direction::In, width).expect("fresh name");
+        let o = b.port("o", Direction::Out, width).expect("fresh name");
+        let regs: Vec<_> = (0..depth)
+            .map(|d| b.register(&format!("r{d}"), width).expect("fresh name"))
+            .collect();
+        b.connect_mux(RtlNode::Port(i), RtlNode::Reg(regs[0]), 0)
+            .expect("consistent");
+        for w in regs.windows(2) {
+            b.connect_mux(RtlNode::Reg(w[0]), RtlNode::Reg(w[1]), 0)
+                .expect("consistent");
+        }
+        let last = regs[regs.len() - 1];
+        b.connect_reg_to_port(last, o).expect("consistent");
+        if sc.shortcut && regs.len() > 1 {
+            b.connect_mux(RtlNode::Port(i), RtlNode::Reg(last), 1)
+                .expect("consistent");
+        }
+        if sc.side_input {
+            let si = b.port("si", Direction::In, width).expect("fresh name");
+            let target = regs[regs.len() / 2];
+            // The target register may already carry leg 1 (the shortcut
+            // lands on the last register); pick the next free leg.
+            let leg = if sc.shortcut && regs.len() > 1 && regs.len() / 2 == regs.len() - 1 {
+                2
+            } else {
+                1
+            };
+            b.connect_mux(RtlNode::Port(si), RtlNode::Reg(target), leg)
+                .expect("consistent");
+        }
+        b.build().expect("spec core is consistent")
+    }
+
+    /// Builds the SOC: a backbone chain through every core's `i`/`o` ports
+    /// (width-mismatched links connect the low `min(w_src, w_dst)` bits),
+    /// one chip PI as wide as the widest core (also feeding every side
+    /// input), a chip PO on the last core, and a dedicated tap pin per
+    /// flagged core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is empty.
+    pub fn build(&self) -> Soc {
+        assert!(!self.cores.is_empty(), "SocSpec with no cores");
+        let pi_width = self.cores.iter().map(|c| c.width.max(2)).max().unwrap();
+        let mut sb = SocBuilder::new("synthetic-spec");
+        let pi = sb.input_pin("pi", pi_width).expect("fresh name");
+        let mut prev: Option<(socet_rtl::CoreInstanceId, socet_rtl::PortId, u16)> = None;
+        for (k, sc) in self.cores.iter().enumerate() {
+            let width = sc.width.max(2);
+            let core = Arc::new(self.spec_core(k));
+            let i = core.find_port("i").expect("port exists");
+            let o = core.find_port("o").expect("port exists");
+            let u = sb
+                .instantiate(&format!("u{k}"), core.clone())
+                .expect("fresh name");
+            match prev {
+                None => sb
+                    .connect(
+                        SocEndpoint::Pin {
+                            pin: pi,
+                            range: BitRange::full(width),
+                        },
+                        SocEndpoint::CorePort {
+                            core: u,
+                            port: i,
+                            range: BitRange::full(width),
+                        },
+                    )
+                    .expect("consistent"),
+                Some((pu, po_port, pw)) => {
+                    let m = pw.min(width);
+                    sb.connect(
+                        SocEndpoint::CorePort {
+                            core: pu,
+                            port: po_port,
+                            range: BitRange::full(m),
+                        },
+                        SocEndpoint::CorePort {
+                            core: u,
+                            port: i,
+                            range: BitRange::full(m),
+                        },
+                    )
+                    .expect("consistent")
+                }
+            }
+            if let Some(si) = core.find_port("si") {
+                sb.connect(
+                    SocEndpoint::Pin {
+                        pin: pi,
+                        range: BitRange::full(width),
+                    },
+                    SocEndpoint::CorePort {
+                        core: u,
+                        port: si,
+                        range: BitRange::full(width),
+                    },
+                )
+                .expect("consistent");
+            }
+            if sc.tap {
+                let tap = sb
+                    .output_pin(&format!("tap{k}"), width)
+                    .expect("fresh name");
+                sb.connect_core_to_pin(u, o, tap).expect("consistent");
+            }
+            prev = Some((u, o, width));
+        }
+        let (lu, lo, lw) = prev.expect("at least one core");
+        let po = sb.output_pin("po", lw).expect("fresh name");
+        sb.connect_core_to_pin(lu, lo, po).expect("consistent");
+        sb.build().expect("spec SOC is consistent")
+    }
+
+    /// Every spec one simplification step away, in greedy-shrink order:
+    /// drop a core first, then per-core feature removals (tap, side input,
+    /// shortcut), then depth and width reductions. A shrinker repeatedly
+    /// takes the first candidate that still fails.
+    pub fn shrink_candidates(&self) -> Vec<SocSpec> {
+        let mut out = Vec::new();
+        if self.cores.len() > 1 {
+            for k in 0..self.cores.len() {
+                let mut s = self.clone();
+                s.cores.remove(k);
+                out.push(s);
+            }
+        }
+        for k in 0..self.cores.len() {
+            let c = self.cores[k];
+            if c.tap {
+                let mut s = self.clone();
+                s.cores[k].tap = false;
+                out.push(s);
+            }
+            if c.side_input {
+                let mut s = self.clone();
+                s.cores[k].side_input = false;
+                out.push(s);
+            }
+            if c.shortcut {
+                let mut s = self.clone();
+                s.cores[k].shortcut = false;
+                out.push(s);
+            }
+            if c.depth > 1 {
+                let mut s = self.clone();
+                s.cores[k].depth = c.depth - 1;
+                out.push(s);
+            }
+            if c.width > 2 {
+                let mut s = self.clone();
+                s.cores[k].width = (c.width / 2).max(2);
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +387,61 @@ mod tests {
         let conns =
             |s: &Soc| -> usize { s.cores().iter().map(|c| c.core().connections().len()).sum() };
         assert_ne!(conns(&a), conns(&b));
+    }
+
+    #[test]
+    fn spec_build_is_deterministic_and_shaped() {
+        let spec = SocSpec::random(7);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.cores().len(), spec.cores.len());
+        assert_eq!(a.nets().len(), b.nets().len());
+        assert_eq!(a.pins().len(), b.pins().len());
+        let taps = spec.cores.iter().filter(|c| c.tap).count();
+        // pi + po + one pin per tap.
+        assert_eq!(a.pins().len(), 2 + taps);
+        assert_ne!(SocSpec::random(7), SocSpec::random(8));
+    }
+
+    #[test]
+    fn spec_shrink_candidates_are_strictly_simpler() {
+        let spec = SocSpec::random(3);
+        let cost = |s: &SocSpec| -> usize {
+            s.cores
+                .iter()
+                .map(|c| {
+                    c.width as usize
+                        + c.depth
+                        + usize::from(c.shortcut)
+                        + usize::from(c.side_input)
+                        + usize::from(c.tap)
+                })
+                .sum()
+        };
+        let base = cost(&spec);
+        let candidates = spec.shrink_candidates();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(cost(c) < base, "{c} not simpler than {spec}");
+            // Every candidate still builds a valid SOC.
+            let soc = c.build();
+            assert_eq!(soc.logic_cores().len(), c.cores.len());
+        }
+    }
+
+    #[test]
+    fn minimal_spec_has_no_shrink_candidates() {
+        let spec = SocSpec {
+            cores: vec![SynthCoreSpec {
+                width: 2,
+                depth: 1,
+                shortcut: false,
+                side_input: false,
+                tap: false,
+            }],
+        };
+        assert!(spec.shrink_candidates().is_empty());
+        assert_eq!(spec.build().logic_cores().len(), 1);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod version;
 pub use codec::{decode_versions, encode_versions};
 pub use rcg::{EdgeId, Rcg, RcgEdge, RcgEdgeKind, RcgNode};
 pub use search::{backward_search, forward_search, PathFound, SearchError};
-pub use version::{synthesize_versions, try_synthesize_versions, CoreVersion, TransparencyPath};
+pub use version::{
+    level_support, synthesize_versions, try_synthesize_versions, CoreVersion, TransparencyPath,
+};
 
 #[cfg(test)]
 mod tests {

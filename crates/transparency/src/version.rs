@@ -213,7 +213,7 @@ pub fn try_synthesize_versions(
     let mut versions = Vec::with_capacity(3);
     let mut cumulative: HashSet<ChargeItem> = HashSet::new();
     for level in 1..=3u8 {
-        let (paths, items) = synthesize_level(core, hscan, level)?;
+        let (_, paths, items) = synthesize_level(core, hscan, level)?;
         cumulative.extend(items);
         let mut overhead = AreaReport::new();
         for item in &cumulative {
@@ -235,12 +235,13 @@ pub fn try_synthesize_versions(
 
 /// Solves one ladder level: propagation for every input first, then
 /// justification for every output (the §4 order), collecting the hardware
-/// items the solution needs.
+/// items the solution needs. Also returns the (possibly mux-augmented) RCG
+/// the solution's edge ids index into.
 fn synthesize_level(
     core: &Core,
     hscan: &HscanResult,
     level: u8,
-) -> Result<(Vec<TransparencyPath>, HashSet<ChargeItem>), SearchError> {
+) -> Result<(Rcg, Vec<TransparencyPath>, HashSet<ChargeItem>), SearchError> {
     let mut rcg = Rcg::extract(core, hscan);
     let mut paths: Vec<TransparencyPath> = Vec::new();
     let mut used: HashSet<EdgeId> = HashSet::new();
@@ -262,7 +263,31 @@ fn synthesize_level(
             );
         }
     }
-    Ok((paths, items))
+    Ok((rcg, paths, items))
+}
+
+/// Re-derives one ladder level's register-connectivity graph together with
+/// the paths solved on it.
+///
+/// The [`TransparencyPath`] edge ids stored in a [`CoreVersion`] index into
+/// the *per-level* RCG that [`synthesize_versions`] built and mutated
+/// (transparency muxes are inserted during the search) and then dropped.
+/// Structural consumers — notably the gate-level replay oracle, which must
+/// rebuild the exact register/mux fabric a version's paths travel — call
+/// this to get the graph those ids resolve against. The returned paths are
+/// identical to `versions[level - 1].paths` for the same inputs, because
+/// the whole synthesis is deterministic.
+///
+/// # Errors
+///
+/// Same contract as [`try_synthesize_versions`].
+pub fn level_support(
+    core: &Core,
+    hscan: &HscanResult,
+    level: u8,
+) -> Result<(Rcg, Vec<TransparencyPath>), SearchError> {
+    let (rcg, paths, _) = synthesize_level(core, hscan, level)?;
+    Ok((rcg, paths))
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -9,6 +9,7 @@
 //! soctool atpg <system>                per-core combinational ATPG run
 //! soctool prepare <system>             content-addressed preparation pipeline
 //! soctool bist <system>                memory BIST plans
+//! soctool verify <system>              gate-level replay oracle (see below)
 //! ```
 //!
 //! `report` and `sweep` accept `--stats` to print the evaluation engine's
@@ -25,8 +26,20 @@
 //! (collapsed-stack profile for flamegraph tooling) — both exporters of
 //! the unified observability layer ([`socet::obs`]).
 //!
+//! `verify` replays scheduled test programs on the gate-level
+//! transparency shell and checks the three oracle invariants
+//! ([`socet::verify`]): `soctool verify system1|system2 [--cases K]`
+//! fully replays the paper design point (all-zeros choice) and then `K-1`
+//! further lexicographic design points with the vector count capped;
+//! `soctool verify synthetic [--seed N] [--cases K]` runs the randomized
+//! harness over `K` seeded synthetic SOCs with greedy shrinking. The same
+//! `--seed` produces byte-identical output.
+//!
 //! Systems: `system1` (the barcode SOC), `system2`, or `synthetic:<n>`
 //! for an n-core generated SOC.
+//!
+//! Unknown flags or surplus positional arguments are rejected with exit
+//! code 2 and the usage text.
 
 use socet::bist::plan_memory_bist;
 use socet::cells::{CellLibrary, DftCosts};
@@ -52,7 +65,9 @@ fn usage() -> ExitCode {
            prepare <system> [--stats] [--cache-dir PATH] [--workers N]\n\
                    [--trace PATH] [--profile PATH]\n\
            bist    <system>\n\
+           verify  <system> [--seed N] [--cases K] [--stats]\n\
          systems: system1 | system2 | synthetic:<cores>\n\
+                  (verify also accepts `synthetic` = randomized harness)\n\
          --stats: print engine counters (evaluation, ATPG or preparation)\n\
          --trace: write the run's JSON trace; --profile: collapsed stacks"
     );
@@ -134,6 +149,17 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Maximum positional argument count (command included) per command; the
+/// parser rejects anything beyond it so typos never silently no-op.
+fn max_positionals(cmd: &str) -> Option<usize> {
+    match cmd {
+        "systems" => Some(1),
+        "sweep" | "atpg" | "prepare" | "bist" | "verify" => Some(2),
+        "report" | "dot-rcg" | "dot-ccg" => Some(3),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let stats = {
@@ -145,9 +171,29 @@ fn main() -> ExitCode {
     let workers = take_flag_value(&mut args, "--workers").and_then(|w| w.parse::<usize>().ok());
     let trace = take_flag_value(&mut args, "--trace").map(PathBuf::from);
     let profile = take_flag_value(&mut args, "--profile").map(PathBuf::from);
+    let seed = take_flag_value(&mut args, "--seed").and_then(|s| s.parse::<u64>().ok());
+    let cases = take_flag_value(&mut args, "--cases").and_then(|s| s.parse::<u64>().ok());
+    // Everything left must be a positional argument: an unknown flag (or a
+    // flag whose value was consumed as a positional) must not be silently
+    // accepted.
+    if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("unknown flag `{bad}`");
+        return usage();
+    }
     let Some(cmd) = args.first().map(String::as_str) else {
         return usage();
     };
+    match max_positionals(cmd) {
+        None => {
+            eprintln!("unknown command `{cmd}`");
+            return usage();
+        }
+        Some(max) if args.len() > max => {
+            eprintln!("unexpected argument `{}`", args[max]);
+            return usage();
+        }
+        Some(_) => {}
+    }
     if cmd == "systems" {
         println!("system1      the paper's barcode SOC (CPU, PREPROCESSOR, DISPLAY, RAM, ROM)");
         println!("system2      graphics -> GCD -> X.25 pipeline");
@@ -157,6 +203,21 @@ fn main() -> ExitCode {
     let Some(system_name) = args.get(1) else {
         return usage();
     };
+    if cmd == "verify" && system_name == "synthetic" {
+        let opts = socet::verify::VerifyOptions {
+            seed: seed.unwrap_or(0x50CE7),
+            max_vectors: Some(4),
+            ..Default::default()
+        };
+        let report =
+            socet::verify::run_synthetic_cases(seed.unwrap_or(0x50CE7), cases.unwrap_or(10), &opts);
+        print!("{}", report.render());
+        return if report.ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     let Some(soc) = load_system(system_name) else {
         eprintln!("unknown system `{system_name}`");
         return usage();
@@ -318,6 +379,63 @@ fn main() -> ExitCode {
                 println!("\n{m}");
             }
             if !export_trace(&shared.take(), trace.as_ref(), profile.as_ref()) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "verify" => {
+            let data = prepare(&soc, 105);
+            let limits: Vec<usize> = data
+                .iter()
+                .map(|d| d.as_ref().map_or(1, |d| d.versions.len().max(1)))
+                .collect();
+            let base_seed = seed.unwrap_or(0x50CE7);
+            let cases = cases.unwrap_or(1).max(1);
+            let mut choice = vec![0usize; limits.len()];
+            let mut all_ok = true;
+            let (mut checks, mut bits) = (0u64, 0u64);
+            for case in 0..cases {
+                // Case 0 is the paper design point, replayed in full; the
+                // rest sample the design space with capped vector counts.
+                let opts = socet::verify::VerifyOptions {
+                    seed: base_seed,
+                    max_vectors: if case == 0 { None } else { Some(4) },
+                    ..Default::default()
+                };
+                match socet::core::try_schedule(&soc, &data, &choice, &costs) {
+                    Ok(plan) => match socet::verify::verify_design_point(&soc, &data, &plan, &opts)
+                    {
+                        Ok(report) => {
+                            print!("{}", report.render());
+                            all_ok &= report.ok();
+                            checks += report.episodes.iter().map(|e| e.checks).sum::<u64>()
+                                + report.parallel.as_ref().map_or(0, |p| p.checks);
+                            bits += report.episodes.iter().map(|e| e.bits_checked).sum::<u64>();
+                        }
+                        Err(e) => {
+                            eprintln!("cannot replay choice {choice:?}: {e}");
+                            all_ok = false;
+                        }
+                    },
+                    Err(e) => println!("choice {choice:?}: unschedulable ({e})"),
+                }
+                let advanced = (0..choice.len()).rev().any(|i| {
+                    if choice[i] + 1 < limits[i] {
+                        choice[i] += 1;
+                        choice[i + 1..].fill(0);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if !advanced && case + 1 < cases {
+                    println!("design space exhausted after {} cases", case + 1);
+                    break;
+                }
+            }
+            if stats {
+                println!("total: {checks} checks, {bits} bits compared");
+            }
+            if !all_ok {
                 return ExitCode::FAILURE;
             }
         }

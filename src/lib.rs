@@ -52,6 +52,7 @@ pub use socet_obs as obs;
 pub use socet_rtl as rtl;
 pub use socet_socs as socs;
 pub use socet_transparency as transparency;
+pub use socet_verify as verify;
 
 pub mod flow;
 

@@ -1,0 +1,69 @@
+//! Regression tests for `soctool` argument handling: unknown flags,
+//! unknown commands, and surplus positional arguments must all be
+//! rejected with exit code 2 and a usage message — historically the tool
+//! exited 0 on unknown flags, silently ignoring typos like `--cout`.
+
+use std::process::{Command, Output};
+
+fn soctool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_soctool"))
+        .args(args)
+        .output()
+        .expect("soctool spawns")
+}
+
+fn assert_usage_rejection(args: &[&str]) {
+    let out = soctool(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "soctool {args:?} should exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage: soctool"),
+        "soctool {args:?} printed no usage:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    assert_usage_rejection(&["systems", "--bogus"]);
+    assert_usage_rejection(&["report", "system1", "--cout"]); // typo of --stats
+    assert_usage_rejection(&["verify", "system1", "--sed", "3"]); // typo of --seed
+    assert_usage_rejection(&["atpg", "system1", "-x"]);
+}
+
+#[test]
+fn unknown_commands_are_rejected() {
+    assert_usage_rejection(&["frobnicate"]);
+    assert_usage_rejection(&["Report", "system1"]);
+    assert_usage_rejection(&[]);
+}
+
+#[test]
+fn surplus_positionals_are_rejected() {
+    assert_usage_rejection(&["systems", "extra"]);
+    assert_usage_rejection(&["verify", "system1", "extra", "more"]);
+    assert_usage_rejection(&["bist", "system1", "surplus"]);
+}
+
+#[test]
+fn flag_values_are_not_swallowed_as_positionals() {
+    // `--seed` consumes its value; what remains must still be checked.
+    assert_usage_rejection(&["verify", "system1", "--seed", "7", "surplus"]);
+    // A flag missing its value is an error, not a crash.
+    let out = soctool(&["verify", "system1", "--seed"]);
+    assert_eq!(out.status.code(), Some(2), "dangling --seed should exit 2");
+}
+
+#[test]
+fn valid_invocations_still_work() {
+    let out = soctool(&["systems"]);
+    assert!(out.status.success(), "soctool systems failed");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("system1"), "{stdout}");
+    assert!(stdout.contains("system2"), "{stdout}");
+}

@@ -1,0 +1,188 @@
+//! Property tests of the binary artifact codecs (`socet-cells`,
+//! `socet-gate`, `socet-atpg`): every value round-trips to identical
+//! bytes, and every single-byte corruption of an encoded artifact is
+//! either rejected with a [`CodecError`] or decodes to a *different*
+//! value — never a panic, never a silent identical decode.
+
+use proptest::prelude::*;
+use socet::atpg::{decode_test_set, encode_test_set, AtpgMetrics, Coverage, TestSet};
+use socet::cells::{decode_area_report, encode_area_report, AreaReport, CellKind, Dec, Enc};
+use socet::gate::codec::{decode_netlist, encode_netlist};
+use socet::gate::{GateKind, GateNetlist, GateNetlistBuilder};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded generators. proptest supplies the seed; the structures are built
+// deterministically from it so they stay valid by construction.
+
+fn random_report(seed: u64) -> AreaReport {
+    let mut r = AreaReport::new();
+    let n = (mix(seed) % CellKind::ALL.len() as u64) as usize;
+    for (i, kind) in CellKind::ALL.iter().take(n).enumerate() {
+        r.tally(*kind, mix(seed ^ i as u64) % 10_000);
+    }
+    r
+}
+
+fn random_netlist(seed: u64) -> GateNetlist {
+    let mut b = GateNetlistBuilder::new(&format!("n{:x}", seed & 0xFFFF));
+    let n_in = 1 + (mix(seed) % 4) as usize;
+    let mut signals: Vec<_> = (0..n_in).map(|i| b.input(&format!("i{i}"))).collect();
+    let n_gates = (mix(seed ^ 1) % 12) as usize;
+    for g in 0..n_gates {
+        let r = mix(seed ^ (100 + g as u64));
+        let a = signals[(r % signals.len() as u64) as usize];
+        let c = signals[(r >> 8) as usize % signals.len()];
+        let s = match r >> 16 & 7 {
+            0 => b.gate1(GateKind::Not, a),
+            1 => b.gate2(GateKind::And2, a, c),
+            2 => b.gate2(GateKind::Or2, a, c),
+            3 => b.gate2(GateKind::Xor2, a, c),
+            4 => b.gate2(GateKind::Nand2, a, c),
+            5 => b.mux(a, c, a),
+            6 => b.dff(a),
+            _ => b.gate2(GateKind::Nor2, a, c),
+        };
+        signals.push(s);
+    }
+    let out = *signals.last().unwrap();
+    b.output("o", out);
+    b.build().expect("generated netlist is well-formed")
+}
+
+fn random_test_set(seed: u64) -> TestSet {
+    let width = (mix(seed) % 17) as usize;
+    let count = (mix(seed ^ 2) % 8) as usize;
+    let patterns = (0..count)
+        .map(|p| {
+            (0..width)
+                .map(|i| mix(seed ^ (p as u64) << 8 ^ i as u64) & 1 == 1)
+                .collect()
+        })
+        .collect();
+    TestSet {
+        patterns,
+        coverage: Coverage {
+            total: (mix(seed ^ 3) % 500) as usize,
+            detected: (mix(seed ^ 4) % 400) as usize,
+            untestable: (mix(seed ^ 5) % 50) as usize,
+            aborted: (mix(seed ^ 6) % 20) as usize,
+        },
+        stats: AtpgMetrics {
+            blocks_simulated: mix(seed ^ 7) % 1_000_000,
+            cone_gate_evals: mix(seed ^ 8) % 1_000_000,
+            ..AtpgMetrics::default()
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip identity: decode(encode(x)) re-encodes to the same bytes.
+
+fn roundtrip(
+    bytes: &[u8],
+    reencode: impl Fn(&mut Dec) -> Result<Vec<u8>, socet::cells::CodecError>,
+) -> Vec<u8> {
+    let mut d = Dec::new(bytes);
+    let out = reencode(&mut d).expect("valid artifact decodes");
+    assert!(
+        d.is_empty(),
+        "decoder left {} trailing bytes",
+        d.remaining()
+    );
+    out
+}
+
+/// Corruption sweep: flip one bit in every byte position; the decoder
+/// must reject the buffer or produce a value that re-encodes differently.
+fn corruption_sweep(
+    bytes: &[u8],
+    what: &str,
+    reencode: impl Fn(&mut Dec) -> Result<Vec<u8>, socet::cells::CodecError>,
+) {
+    for pos in 0..bytes.len() {
+        let mut bad = bytes.to_vec();
+        bad[pos] ^= 1 << (pos % 8);
+        let mut d = Dec::new(&bad);
+        match reencode(&mut d) {
+            Err(_) => {}
+            Ok(re) => assert_ne!(
+                re, bytes,
+                "{what}: flipping byte {pos} decoded back to the original value"
+            ),
+        }
+    }
+}
+
+fn encode_report_bytes(r: &AreaReport) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_area_report(r, &mut e);
+    e.into_bytes()
+}
+
+fn encode_netlist_bytes(n: &GateNetlist) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_netlist(n, &mut e);
+    e.into_bytes()
+}
+
+fn encode_tests_bytes(t: &TestSet) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_test_set(t, &mut e);
+    e.into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn area_report_roundtrip_and_corruption(seed in 1u64..u64::MAX) {
+        let bytes = encode_report_bytes(&random_report(seed));
+        let re = roundtrip(&bytes, |d| Ok(encode_report_bytes(&decode_area_report(d)?)));
+        prop_assert_eq!(&re, &bytes);
+        corruption_sweep(&bytes, "area report", |d| {
+            Ok(encode_report_bytes(&decode_area_report(d)?))
+        });
+    }
+
+    #[test]
+    fn netlist_roundtrip_and_corruption(seed in 1u64..u64::MAX) {
+        let bytes = encode_netlist_bytes(&random_netlist(seed));
+        let re = roundtrip(&bytes, |d| Ok(encode_netlist_bytes(&decode_netlist(d)?)));
+        prop_assert_eq!(&re, &bytes);
+        corruption_sweep(&bytes, "netlist", |d| {
+            Ok(encode_netlist_bytes(&decode_netlist(d)?))
+        });
+    }
+
+    #[test]
+    fn test_set_roundtrip_and_corruption(seed in 1u64..u64::MAX) {
+        let bytes = encode_tests_bytes(&random_test_set(seed));
+        let re = roundtrip(&bytes, |d| Ok(encode_tests_bytes(&decode_test_set(d)?)));
+        prop_assert_eq!(&re, &bytes);
+        corruption_sweep(&bytes, "test set", |d| {
+            Ok(encode_tests_bytes(&decode_test_set(d)?))
+        });
+    }
+}
+
+/// Truncation at every prefix length must error out, never panic.
+#[test]
+fn truncation_never_panics() {
+    let bytes = encode_netlist_bytes(&random_netlist(42));
+    for len in 0..bytes.len() {
+        let mut d = Dec::new(&bytes[..len]);
+        assert!(decode_netlist(&mut d).is_err(), "prefix {len} decoded");
+    }
+    let bytes = encode_tests_bytes(&random_test_set(42));
+    for len in 0..bytes.len() {
+        let mut d = Dec::new(&bytes[..len]);
+        assert!(decode_test_set(&mut d).is_err(), "prefix {len} decoded");
+    }
+}
